@@ -1,0 +1,40 @@
+"""Figure 10 regeneration benchmark: IPC versus memory latency.
+
+Times the Pointer + Neighborhood latency sweep (4 latency points x 4
+models each, compilation shared across points) and prints the regenerated
+curves.  Shape assertion: the CMP-bearing models tolerate latency better
+than the baseline (the paper's headline qualitative claim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+
+from .conftest import QUICK
+
+
+def test_figure10_regeneration(benchmark, config):
+    fig = benchmark.pedantic(
+        lambda: figure10(config, quick=QUICK), rounds=1, iterations=1
+    )
+    print()
+    print(fig.render())
+
+    for name in fig.ipc:
+        benchmark.extra_info[name] = {
+            mode: [round(v, 4) for v in series]
+            for mode, series in fig.ipc[name].items()
+        }
+
+    for name in fig.ipc:
+        base_deg = fig.degradation(name, "superscalar")
+        hidisc_deg = fig.degradation(name, "hidisc")
+        # Shape: HiDISC's curve sits above the baseline's at every point...
+        for b, h in zip(fig.ipc[name]["superscalar"], fig.ipc[name]["hidisc"]):
+            assert h >= b * 0.95, name
+        # ... and by a growing factor at the longest latency (tolerance).
+        assert fig.ipc[name]["hidisc"][-1] > fig.ipc[name]["superscalar"][-1], name
+        benchmark.extra_info[f"{name}_degradation"] = {
+            "superscalar": round(base_deg, 4),
+            "hidisc": round(hidisc_deg, 4),
+        }

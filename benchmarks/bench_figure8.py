@@ -1,0 +1,49 @@
+"""Figure 8 regeneration benchmark: speed-up bars for all 7 benchmarks.
+
+Times one full 7x4 simulation grid and prints the regenerated figure.
+Shape assertions mirror the paper: HiDISC beats the baseline on average,
+and the CMP-bearing models carry most of the gain.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.experiments import figure8, run_suite
+
+from .conftest import QUICK
+
+
+def test_figure8_regeneration(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_suite(config, quick=QUICK), rounds=1, iterations=1
+    )
+    view = figure8(result)
+    print()
+    print(view.render())
+
+    speedups = view.speedups()
+    benchmark.extra_info["mean_hidisc_speedup"] = result.mean_speedup("hidisc")
+    benchmark.extra_info["speedups"] = {
+        name: {m: round(v, 4) for m, v in by_model.items()}
+        for name, by_model in speedups.items()
+    }
+
+    # Shape: the full system wins on average (paper: +11.9%).
+    assert result.mean_speedup("hidisc") > 1.05
+    # Shape: every benchmark's HiDISC run is not slower than the baseline
+    # by more than a whisker.
+    for name, by_model in speedups.items():
+        assert by_model["hidisc"] > 0.9, name
+
+
+def test_figure8_single_benchmark_cost(benchmark, config):
+    """Cost of one benchmark end-to-end (compile + 4 timing runs)."""
+    from repro.experiments import prepare, run_benchmark
+    from repro.workloads import get_workload
+
+    def one():
+        cw = prepare(get_workload("field", quick=QUICK), config)
+        return run_benchmark(cw, config)
+
+    bench = benchmark.pedantic(one, rounds=1, iterations=1)
+    assert bench.speedup("cp_ap") > 1.0  # Field is decoupling's benchmark

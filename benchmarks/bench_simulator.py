@@ -1,0 +1,65 @@
+"""Simulator-infrastructure microbenchmarks.
+
+Not figures from the paper — these track the reproduction's own hot paths
+(functional interpretation rate, timing-core throughput, compiler cost) so
+performance regressions in the simulator itself are visible.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.sim import Machine, generate_trace
+from repro.sim.functional import FunctionalSimulator
+from repro.slicer import compile_hidisc
+from repro.workloads import FieldWorkload
+
+
+def test_functional_interpreter_rate(benchmark):
+    program = FieldWorkload(n=1200).program
+
+    def run():
+        sim = FunctionalSimulator(program)
+        sim.run()
+        return sim.instructions_executed
+
+    executed = benchmark(run)
+    benchmark.extra_info["instructions"] = executed
+    assert executed > 10_000
+
+
+def test_timing_core_rate(benchmark):
+    config = MachineConfig()
+    program = FieldWorkload(n=1200).program
+    trace, _ = generate_trace(program)
+
+    def run():
+        return Machine(config, program.copy(), trace,
+                       mode="superscalar").run().cycles
+
+    cycles = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["trace_length"] = len(trace)
+
+
+def test_compiler_cost(benchmark):
+    config = MachineConfig()
+    program = FieldWorkload(n=1200).program
+    trace, _ = generate_trace(program)
+
+    comp = benchmark(lambda: compile_hidisc(program, config, trace=trace))
+    assert comp.report()["static_instructions"] == len(program.text)
+
+
+def test_cache_access_rate(benchmark):
+    from repro.sim.cache import Cache
+
+    cache = Cache(MachineConfig().l1)
+    addresses = [(i * 5323) % (1 << 20) & ~7 for i in range(20_000)]
+
+    def run():
+        hits = 0
+        for a in addresses:
+            hits += cache.access(a).hit
+        return hits
+
+    benchmark(run)

@@ -1,0 +1,25 @@
+"""Table 1 regeneration benchmark (configuration rendering).
+
+Trivially fast — included so every table and figure of the paper has a
+``benchmarks/`` target — and asserts the rendered parameters are the
+paper's, so a config drift fails the harness.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark, config):
+    text = benchmark(lambda: table1(config))
+    print()
+    print("Table 1: Simulation parameters")
+    print(text)
+    for expected in (
+        "bimodal", "2048", "8",
+        "256 sets, 32 block, 4-way set associative, LRU",
+        "1024 sets, 64 block, 4-way set associative, LRU",
+        "12 CPU clock cycles", "120 CPU clock cycles",
+        "AP 64 / CP 16",
+    ):
+        assert expected in text, expected

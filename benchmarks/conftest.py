@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to the scaled-down (quick) inputs so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes.  Set
+``HIDISC_BENCH_FULL=1`` to regenerate the paper-scale numbers instead
+(the same thing ``hidisc all`` does, but timed).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments import run_suite
+
+QUICK = os.environ.get("HIDISC_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture(scope="session")
+def config() -> MachineConfig:
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def suite(config):
+    """The 7-benchmark x 4-model grid, shared by Figure 8/9 and Table 2."""
+    return run_suite(config, quick=QUICK)

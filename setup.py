@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is fully offline and lacks the ``wheel`` package,
+so PEP 660 editable installs cannot build. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern environments) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

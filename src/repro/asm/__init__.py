@@ -1,0 +1,16 @@
+"""Assembler layer: programs, the builder DSL, and the text assembler."""
+
+from .builder import ProgramBuilder
+from .parser import Assembler, assemble
+from .program import DATA_BASE, HEAP_BASE, MEMORY_BYTES, STACK_TOP, Program
+
+__all__ = [
+    "Assembler",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "MEMORY_BYTES",
+    "Program",
+    "ProgramBuilder",
+    "STACK_TOP",
+    "assemble",
+]

@@ -1,0 +1,388 @@
+"""``ProgramBuilder`` — a Python DSL for authoring assembly programs.
+
+The DIS benchmarks are written with this builder (the paper compiles C with
+a SimpleScalar gcc; we author the same kernels directly — see DESIGN.md
+substitution #1).  Example::
+
+    b = ProgramBuilder("sum")
+    arr = b.data_f64("arr", [1.0, 2.0, 3.0])
+    b.la("t0", "arr")
+    b.li("t1", 3)            # counter
+    b.li("t2", 0)
+    b.fsub("f0", "f0", "f0")  # f0 = 0.0
+    b.label("loop")
+    b.fld("f1", 0, "t0")
+    b.fadd("f0", "f0", "f1")
+    b.addi("t0", "t0", 8)
+    b.addi("t2", "t2", 1)
+    b.blt("t2", "t1", "loop")
+    b.halt()
+    program = b.build()
+
+Branch targets are labels; they are resolved to instruction indices by
+:meth:`ProgramBuilder.build`.  Register operands may be names (``"t0"``,
+``"$f2"``) or raw register ids.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable
+
+from ..errors import AssemblyError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Format, Op
+from ..isa.registers import parse_reg
+from ..utils import align_up
+from .program import DATA_BASE, Program
+
+# Must match the encodable immediate width (29-bit two's complement).
+_IMM_MIN = -(1 << 28)
+_IMM_MAX = (1 << 28) - 1
+
+
+def _reg(value: int | str) -> int:
+    return value if isinstance(value, int) else parse_reg(value)
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`~repro.asm.program.Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._text: list[Instruction] = []
+        self._data = bytearray()
+        self._text_symbols: dict[str, int] = {}
+        self._data_symbols: dict[str, int] = {}
+        #: (instruction index, label) fixups resolved at build time.
+        self._fixups: list[tuple[int, str]] = []
+        self._comment_next: str = ""
+
+    # ------------------------------------------------------------------
+    # Labels and comments
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> str:
+        """Define a text label at the current position; returns *name*."""
+        if name in self._text_symbols or name in self._data_symbols:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._text_symbols[name] = len(self._text)
+        return name
+
+    def comment(self, text: str) -> None:
+        """Attach a comment to the next emitted instruction."""
+        self._comment_next = text
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._text)
+
+    # ------------------------------------------------------------------
+    # Data segment
+    # ------------------------------------------------------------------
+    def _def_data(self, label: str | None, address: int) -> int:
+        if label is not None:
+            if label in self._data_symbols or label in self._text_symbols:
+                raise AssemblyError(f"duplicate label {label!r}")
+            self._data_symbols[label] = address
+        return address
+
+    def align(self, alignment: int) -> None:
+        """Pad the data segment to *alignment* bytes."""
+        target = align_up(len(self._data), alignment)
+        self._data.extend(b"\0" * (target - len(self._data)))
+
+    def data_bytes(self, label: str | None, payload: bytes) -> int:
+        """Emit raw bytes; returns the absolute byte address."""
+        addr = DATA_BASE + len(self._data)
+        self._data.extend(payload)
+        return self._def_data(label, addr)
+
+    def data_space(self, label: str | None, nbytes: int, align: int = 8) -> int:
+        """Reserve *nbytes* zeroed bytes (aligned); returns the address."""
+        self.align(align)
+        return self.data_bytes(label, b"\0" * nbytes)
+
+    def data_i64(self, label: str | None, values: Iterable[int]) -> int:
+        """Emit 64-bit little-endian integers; returns the address."""
+        self.align(8)
+        payload = b"".join(struct.pack("<q", int(v)) for v in values)
+        return self.data_bytes(label, payload)
+
+    def data_i32(self, label: str | None, values: Iterable[int]) -> int:
+        """Emit 32-bit little-endian integers; returns the address."""
+        self.align(4)
+        payload = b"".join(struct.pack("<i", int(v)) for v in values)
+        return self.data_bytes(label, payload)
+
+    def data_f64(self, label: str | None, values: Iterable[float]) -> int:
+        """Emit IEEE binary64 values; returns the address."""
+        self.align(8)
+        payload = b"".join(struct.pack("<d", float(v)) for v in values)
+        return self.data_bytes(label, payload)
+
+    # ------------------------------------------------------------------
+    # Core emit
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append a pre-constructed instruction."""
+        if self._comment_next:
+            instr.comment = self._comment_next
+            self._comment_next = ""
+        self._text.append(instr)
+        return instr
+
+    def _emit(self, op: Op, rd: int = 0, rs1: int = 0, rs2: int = 0,
+              imm: int = 0, label: str | None = None) -> Instruction:
+        if not (_IMM_MIN <= imm <= _IMM_MAX):
+            raise AssemblyError(
+                f"{op.mnemonic}: immediate {imm} does not fit in 29 bits "
+                f"(use li64 for large constants)"
+            )
+        instr = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        if label is not None:
+            self._fixups.append((len(self._text), label))
+        return self.emit(instr)
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+    def add(self, rd, rs1, rs2):  # noqa: D102 - uniform one-liners
+        return self._emit(Op.ADD, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def sub(self, rd, rs1, rs2):
+        return self._emit(Op.SUB, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def mul(self, rd, rs1, rs2):
+        return self._emit(Op.MUL, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def div(self, rd, rs1, rs2):
+        return self._emit(Op.DIV, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def rem(self, rd, rs1, rs2):
+        return self._emit(Op.REM, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def and_(self, rd, rs1, rs2):
+        return self._emit(Op.AND, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def or_(self, rd, rs1, rs2):
+        return self._emit(Op.OR, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def xor(self, rd, rs1, rs2):
+        return self._emit(Op.XOR, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def nor(self, rd, rs1, rs2):
+        return self._emit(Op.NOR, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def sll(self, rd, rs1, rs2):
+        return self._emit(Op.SLL, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def srl(self, rd, rs1, rs2):
+        return self._emit(Op.SRL, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def sra(self, rd, rs1, rs2):
+        return self._emit(Op.SRA, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def slt(self, rd, rs1, rs2):
+        return self._emit(Op.SLT, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def sltu(self, rd, rs1, rs2):
+        return self._emit(Op.SLTU, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def addi(self, rd, rs1, imm: int):
+        return self._emit(Op.ADDI, _reg(rd), _reg(rs1), imm=imm)
+
+    def muli(self, rd, rs1, imm: int):
+        return self._emit(Op.MULI, _reg(rd), _reg(rs1), imm=imm)
+
+    def andi(self, rd, rs1, imm: int):
+        return self._emit(Op.ANDI, _reg(rd), _reg(rs1), imm=imm)
+
+    def ori(self, rd, rs1, imm: int):
+        return self._emit(Op.ORI, _reg(rd), _reg(rs1), imm=imm)
+
+    def xori(self, rd, rs1, imm: int):
+        return self._emit(Op.XORI, _reg(rd), _reg(rs1), imm=imm)
+
+    def slli(self, rd, rs1, imm: int):
+        return self._emit(Op.SLLI, _reg(rd), _reg(rs1), imm=imm)
+
+    def srli(self, rd, rs1, imm: int):
+        return self._emit(Op.SRLI, _reg(rd), _reg(rs1), imm=imm)
+
+    def srai(self, rd, rs1, imm: int):
+        return self._emit(Op.SRAI, _reg(rd), _reg(rs1), imm=imm)
+
+    def slti(self, rd, rs1, imm: int):
+        return self._emit(Op.SLTI, _reg(rd), _reg(rs1), imm=imm)
+
+    def li(self, rd, imm: int):
+        """Load a (<= 29-bit signed) immediate."""
+        return self._emit(Op.LI, _reg(rd), imm=imm)
+
+    def li64(self, rd, value: int):
+        """Materialise an arbitrary 64-bit constant (li/slli/ori sequence)."""
+        rd = _reg(rd)
+        if _IMM_MIN <= value <= _IMM_MAX:
+            return self.li(rd, value)
+        if not (-(1 << 63) <= value < (1 << 64)):
+            raise AssemblyError(f"li64: constant {value} does not fit in 64 bits")
+        bits = value & ((1 << 64) - 1)
+        # Build 16 bits at a time, top chunk sign-extended by the shifts.
+        top = bits >> 48
+        if top >= 1 << 15:
+            top -= 1 << 16
+        instr = self.li(rd, top)
+        for shift in (32, 16, 0):
+            self._emit(Op.SLLI, rd, rd, imm=16)
+            chunk = (bits >> shift) & 0xFFFF
+            if chunk:
+                instr = self._emit(Op.ORI, rd, rd, imm=chunk)
+        return instr
+
+    def mov(self, rd, rs1):
+        return self._emit(Op.MOV, _reg(rd), _reg(rs1))
+
+    def la(self, rd, label: str):
+        """Load the address of a data (or text) label — resolved at build."""
+        instr = self._emit(Op.LI, _reg(rd))
+        self._fixups.append((len(self._text) - 1, label))
+        return instr
+
+    # ------------------------------------------------------------------
+    # Floating point
+    # ------------------------------------------------------------------
+    def fadd(self, rd, rs1, rs2):
+        return self._emit(Op.FADD, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fsub(self, rd, rs1, rs2):
+        return self._emit(Op.FSUB, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fmul(self, rd, rs1, rs2):
+        return self._emit(Op.FMUL, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fdiv(self, rd, rs1, rs2):
+        return self._emit(Op.FDIV, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fneg(self, rd, rs1):
+        return self._emit(Op.FNEG, _reg(rd), _reg(rs1))
+
+    def fabs_(self, rd, rs1):
+        return self._emit(Op.FABS, _reg(rd), _reg(rs1))
+
+    def fsqrt(self, rd, rs1):
+        return self._emit(Op.FSQRT, _reg(rd), _reg(rs1))
+
+    def fmov(self, rd, rs1):
+        return self._emit(Op.FMOV, _reg(rd), _reg(rs1))
+
+    def fmin(self, rd, rs1, rs2):
+        return self._emit(Op.FMIN, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fmax(self, rd, rs1, rs2):
+        return self._emit(Op.FMAX, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def feq(self, rd, rs1, rs2):
+        return self._emit(Op.FEQ, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def flt(self, rd, rs1, rs2):
+        return self._emit(Op.FLT, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def fle(self, rd, rs1, rs2):
+        return self._emit(Op.FLE, _reg(rd), _reg(rs1), _reg(rs2))
+
+    def itof(self, rd, rs1):
+        return self._emit(Op.ITOF, _reg(rd), _reg(rs1))
+
+    def ftoi(self, rd, rs1):
+        return self._emit(Op.FTOI, _reg(rd), _reg(rs1))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ld(self, rd, offset: int, base):
+        return self._emit(Op.LD, _reg(rd), _reg(base), imm=offset)
+
+    def lw(self, rd, offset: int, base):
+        return self._emit(Op.LW, _reg(rd), _reg(base), imm=offset)
+
+    def lbu(self, rd, offset: int, base):
+        return self._emit(Op.LBU, _reg(rd), _reg(base), imm=offset)
+
+    def sd(self, data, offset: int, base):
+        return self._emit(Op.SD, rs1=_reg(base), rs2=_reg(data), imm=offset)
+
+    def sw(self, data, offset: int, base):
+        return self._emit(Op.SW, rs1=_reg(base), rs2=_reg(data), imm=offset)
+
+    def sb(self, data, offset: int, base):
+        return self._emit(Op.SB, rs1=_reg(base), rs2=_reg(data), imm=offset)
+
+    def fld(self, rd, offset: int, base):
+        return self._emit(Op.FLD, _reg(rd), _reg(base), imm=offset)
+
+    def fsd(self, data, offset: int, base):
+        return self._emit(Op.FSD, rs1=_reg(base), rs2=_reg(data), imm=offset)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def beq(self, rs1, rs2, label: str):
+        return self._emit(Op.BEQ, rs1=_reg(rs1), rs2=_reg(rs2), label=label)
+
+    def bne(self, rs1, rs2, label: str):
+        return self._emit(Op.BNE, rs1=_reg(rs1), rs2=_reg(rs2), label=label)
+
+    def blt(self, rs1, rs2, label: str):
+        return self._emit(Op.BLT, rs1=_reg(rs1), rs2=_reg(rs2), label=label)
+
+    def bge(self, rs1, rs2, label: str):
+        return self._emit(Op.BGE, rs1=_reg(rs1), rs2=_reg(rs2), label=label)
+
+    def beqz(self, rs1, label: str):
+        return self._emit(Op.BEQZ, rs1=_reg(rs1), label=label)
+
+    def bnez(self, rs1, label: str):
+        return self._emit(Op.BNEZ, rs1=_reg(rs1), label=label)
+
+    def j(self, label: str):
+        return self._emit(Op.J, label=label)
+
+    def jal(self, label: str):
+        return self._emit(Op.JAL, label=label)
+
+    def jr(self, rs1):
+        return self._emit(Op.JR, rs1=_reg(rs1))
+
+    def nop(self):
+        return self._emit(Op.NOP)
+
+    def halt(self):
+        return self._emit(Op.HALT)
+
+    # ------------------------------------------------------------------
+    def build(self, entry_label: str | None = None) -> Program:
+        """Resolve labels and return the finished, validated program."""
+        program = Program(
+            text=self._text,
+            data=self._data,
+            text_symbols=dict(self._text_symbols),
+            data_symbols=dict(self._data_symbols),
+            name=self.name,
+        )
+        for index, label in self._fixups:
+            instr = self._text[index]
+            if label in self._text_symbols:
+                value = self._text_symbols[label]
+            elif label in self._data_symbols:
+                value = self._data_symbols[label]
+            else:
+                raise AssemblyError(f"undefined label {label!r}")
+            if instr.op.info.fmt in (Format.BRANCH, Format.BRANCH1, Format.JUMP):
+                instr.target = value
+            else:
+                instr.imm = value
+        if entry_label is not None:
+            program.entry = program.text_symbols[entry_label]
+        program.validate()
+        return program

@@ -1,0 +1,91 @@
+"""Line-oriented lexer for the text assembler.
+
+The surface syntax is deliberately close to the MIPS listings in the paper's
+Figures 5-7::
+
+        .data
+    arr:    .space 64
+    coef:   .double 1.0, 0.5
+        .text
+    main:   la   t0, arr
+    loop:   ld   t1, 0(t0)
+            beq  t1, zero, done
+            addi t0, t0, 8
+            j    loop
+    done:   halt
+
+Comments start with ``#`` or ``;`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AssemblyError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        -?0[xX][0-9a-fA-F]+          # hex number
+      | -?\d+\.\d+(?:[eE][-+]?\d+)?  # float
+      | -?\.\d+(?:[eE][-+]?\d+)?     # float starting with a dot
+      | -?\d+(?:[eE][-+]?\d+)?       # int (or int with exponent -> float)
+      | \.[A-Za-z_][\w]*             # directive
+      | [A-Za-z_$][\w.$]*            # identifier / register / mnemonic
+      | [(),]                        # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Line:
+    """One significant source line after lexing."""
+
+    number: int
+    label: str | None
+    tokens: list[str] = field(default_factory=list)
+
+
+def tokenize_line(text: str, number: int) -> Line | None:
+    """Lex one source line; returns ``None`` for blank/comment-only lines."""
+    # Strip comments.
+    for marker in ("#", ";"):
+        pos = text.find(marker)
+        if pos >= 0:
+            text = text[:pos]
+    text = text.strip()
+    if not text:
+        return None
+
+    label = None
+    m = _LABEL_RE.match(text)
+    if m:
+        label = m.group(1)
+        text = text[m.end():].strip()
+
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise AssemblyError(f"cannot tokenize {text[pos:]!r}", line=number)
+        tokens.append(m.group(1))
+        pos = m.end()
+
+    if label is None and not tokens:
+        return None
+    return Line(number=number, label=label, tokens=tokens)
+
+
+def tokenize(source: str) -> list[Line]:
+    """Lex a whole source file into significant lines."""
+    lines: list[Line] = []
+    for i, raw in enumerate(source.splitlines(), start=1):
+        line = tokenize_line(raw, i)
+        if line is not None:
+            lines.append(line)
+    return lines

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the HiDISC reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch simulator problems without masking genuine Python bugs
+(``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AssemblyError(ReproError):
+    """Raised by the assembler for malformed source text.
+
+    Carries the line number when available so messages are actionable.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded/decoded."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal operations during simulation (bad address, ...)."""
+
+
+class MemoryFault(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+    def __init__(self, address: int, reason: str = "out of range"):
+        self.address = address
+        super().__init__(f"memory fault at 0x{address:x}: {reason}")
+
+
+class QueueProtocolError(SimulationError):
+    """Queue pop on empty / push on full in a context where that is a bug
+    (functional checking), as opposed to a stall (timing simulation)."""
+
+
+class SlicingError(ReproError):
+    """Raised when stream separation produces an inconsistent program."""
+
+
+class ValidationError(SlicingError):
+    """An annotated program violates a HiDISC invariant."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine or experiment configuration."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction or self-check failure."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — simulation parameters.
+* :mod:`repro.experiments.figure8` — speed-up over the baseline.
+* :mod:`repro.experiments.table2` — mean speed-up per model.
+* :mod:`repro.experiments.figure9` — L1 miss-rate reduction.
+* :mod:`repro.experiments.figure10` — IPC vs memory latency.
+* :mod:`repro.experiments.cli` — the ``hidisc`` command.
+"""
+
+from .figure8 import Figure8, figure8
+from .figure9 import Figure9, figure9
+from .figure10 import FIGURE10_BENCHMARKS, Figure10, figure10
+from .models import MODEL_LABELS, MODEL_ORDER, PAPER
+from .runner import (
+    BenchmarkResults,
+    CompiledWorkload,
+    prepare,
+    run_benchmark,
+    run_model,
+)
+from .suite import SuiteResult, run_suite
+from .table1 import table1
+from .table2 import Table2, table2
+
+__all__ = [
+    "BenchmarkResults",
+    "CompiledWorkload",
+    "FIGURE10_BENCHMARKS",
+    "Figure10",
+    "Figure8",
+    "Figure9",
+    "MODEL_LABELS",
+    "MODEL_ORDER",
+    "PAPER",
+    "SuiteResult",
+    "Table2",
+    "figure10",
+    "figure8",
+    "figure9",
+    "prepare",
+    "run_benchmark",
+    "run_model",
+    "run_suite",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Installed as the ``hidisc`` console script::
+
+    hidisc table1
+    hidisc figure8 --quick
+    hidisc all --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import MachineConfig
+from .figure8 import figure8
+from .figure9 import figure9
+from .figure10 import figure10
+from .reporting import write_json
+from .suite import run_suite
+from .table1 import table1
+from .table2 import table2
+
+_COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hidisc",
+        description="Reproduce the evaluation of 'HiDISC: A Decoupled "
+                    "Architecture for Data-Intensive Applications' "
+                    "(IPDPS 2003).",
+    )
+    parser.add_argument("command", choices=_COMMANDS,
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down inputs (seconds instead of minutes)")
+    parser.add_argument("--seed", type=int, default=2003,
+                        help="workload generator seed (default 2003)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump raw results as JSON")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress progress messages on stderr")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = MachineConfig()
+    progress = None if args.no_progress else (
+        lambda msg: print(msg, file=sys.stderr, flush=True)
+    )
+
+    if args.command == "table1":
+        print("Table 1: Simulation parameters")
+        print(table1(config))
+        return 0
+
+    payload: dict = {}
+    if args.command in ("table2", "figure8", "figure9", "all"):
+        suite = run_suite(config, quick=args.quick, seed=args.seed,
+                          progress=progress)
+        payload["suite"] = suite.to_payload()
+        if args.command in ("figure8", "all"):
+            print(figure8(suite).render())
+            print()
+        if args.command in ("table2", "all"):
+            print(table2(suite).render())
+            print()
+        if args.command in ("figure9", "all"):
+            print(figure9(suite).render())
+            print()
+        compiled = {name: bench.compiled
+                    for name, bench in suite.benchmarks.items()}
+    else:
+        compiled = None
+
+    if args.command in ("figure10", "all"):
+        fig10 = figure10(config, quick=args.quick, seed=args.seed,
+                         progress=progress, compiled=compiled)
+        payload["figure10"] = {
+            "latencies": list(fig10.latencies),
+            "ipc": fig10.ipc,
+        }
+        print(fig10.render())
+
+    if args.command == "all":
+        print("\nTable 1: Simulation parameters")
+        print(table1(config))
+
+    if args.json:
+        path = write_json(args.json, payload)
+        print(f"\nraw results written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

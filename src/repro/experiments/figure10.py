@@ -1,0 +1,103 @@
+"""Figure 10: latency tolerance — IPC versus (L2, memory) latency.
+
+The paper sweeps (L2 latency / memory latency) over 4/40, 8/80, 12/120 and
+16/160 for the Pointer and Neighborhood stressmarks, plotting IPC of all
+four models.  Shape targets: the CMP-bearing models stay nearly flat
+(paper: HiDISC loses only 1.8% on Pointer / 4.8% on Neighborhood from the
+shortest to the longest latency) while the baseline and CP+AP degrade
+steeply (20.3% / 13.9%).
+
+Compilation and traces are latency-independent, so each benchmark is
+prepared once and replayed at every latency point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import FIGURE10_LATENCIES, MachineConfig
+from .models import MODEL_LABELS, MODEL_ORDER, PAPER
+from .reporting import render_table
+from .runner import CompiledWorkload, prepare, run_model
+from .suite import ProgressFn
+
+#: Benchmarks the paper sweeps.
+FIGURE10_BENCHMARKS = ("pointer", "neighborhood")
+
+
+@dataclass
+class Figure10:
+    """IPC grid: benchmark -> model -> [IPC per latency point]."""
+
+    latencies: tuple[tuple[int, int], ...]
+    ipc: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def degradation(self, benchmark: str, mode: str) -> float:
+        """Fractional IPC loss from the shortest to the longest latency."""
+        series = self.ipc[benchmark][mode]
+        if series[0] == 0:
+            return 0.0
+        return 1.0 - series[-1] / series[0]
+
+    def render(self) -> str:
+        blocks = []
+        for name, by_model in self.ipc.items():
+            rows = []
+            for mode in MODEL_ORDER:
+                if mode not in by_model:
+                    continue
+                rows.append(
+                    [MODEL_LABELS[mode]]
+                    + [f"{v:.3f}" for v in by_model[mode]]
+                    + [f"-{self.degradation(name, mode) * 100:.1f}%"]
+                )
+            header = ["Model"] + [
+                f"{l2}/{mem}" for l2, mem in self.latencies
+            ] + ["degradation"]
+            paper_base = PAPER.figure10_degradation.get((name, "superscalar"))
+            paper_hd = PAPER.figure10_degradation.get((name, "hidisc"))
+            note = ""
+            if paper_base is not None:
+                note = (f"  (paper: superscalar -{paper_base * 100:.1f}%, "
+                        f"HiDISC -{paper_hd * 100:.1f}%)")
+            blocks.append(f"{name} — IPC vs L2/memory latency{note}\n"
+                          + render_table(header, rows))
+        return ("Figure 10: latency tolerance for various memory latencies\n"
+                + "\n\n".join(blocks))
+
+
+def figure10(
+    config: MachineConfig | None = None,
+    quick: bool = False,
+    seed: int = 2003,
+    benchmarks: tuple[str, ...] = FIGURE10_BENCHMARKS,
+    latencies: tuple[tuple[int, int], ...] = FIGURE10_LATENCIES,
+    modes: tuple[str, ...] = MODEL_ORDER,
+    progress: ProgressFn | None = None,
+    compiled: dict[str, CompiledWorkload] | None = None,
+) -> Figure10:
+    """Run the latency sweep.
+
+    Pass *compiled* (name -> :class:`CompiledWorkload`) to reuse
+    preparations from a prior suite run.
+    """
+    base_config = config if config is not None else MachineConfig()
+    from ..workloads import get_workload
+
+    out = Figure10(latencies=latencies)
+    for name in benchmarks:
+        if compiled is not None and name in compiled:
+            cw = compiled[name]
+        else:
+            if progress:
+                progress(f"preparing {name} ...")
+            cw = prepare(get_workload(name, quick=quick, seed=seed), base_config)
+        out.ipc[name] = {mode: [] for mode in modes}
+        for l2_latency, memory_latency in latencies:
+            point = base_config.with_latency(l2_latency, memory_latency)
+            if progress:
+                progress(f"  {name} @ L2={l2_latency}, mem={memory_latency}")
+            for mode in modes:
+                result = run_model(cw, point, mode)
+                out.ipc[name][mode].append(result.ipc)
+    return out

@@ -1,0 +1,55 @@
+"""The four architecture models of the paper's §5.3.
+
+=================  ==========================================================
+``superscalar``    baseline 8-issue out-of-order (sim-outorder equivalent)
+``cp_ap``          conventional access/execute decoupled (CP + AP)
+``cp_cmp``         single stream + CMAS prefetching (≈ DDMT / speculative
+                   precomputation)
+``hidisc``         the complete HiDISC (decoupling + prefetching)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Presentation order used in every figure.
+MODEL_ORDER = ("superscalar", "cp_ap", "cp_cmp", "hidisc")
+
+#: Figure legends as printed in the paper.
+MODEL_LABELS = {
+    "superscalar": "Superscalar",
+    "cp_ap": "CP+AP",
+    "cp_cmp": "CP+CMP",
+    "hidisc": "HiDISC",
+}
+
+#: Table 2 rows ("Characteristic" column).
+MODEL_CHARACTERISTICS = {
+    "cp_ap": "Access/execute decoupling",
+    "cp_cmp": "Cache prefetching",
+    "hidisc": "Decoupling and prefetching",
+}
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """The paper's reported values, for paper-vs-measured reporting."""
+
+    #: Table 2 average speedups over the baseline.
+    table2_speedup = {"cp_ap": 1.013, "cp_cmp": 1.107, "hidisc": 1.119}
+    #: §5.3 headline: average cache-miss elimination.
+    mean_miss_reduction = 0.171
+    #: §5.3: best-case numbers.
+    best_speedup = ("update", 1.185)
+    best_miss_reduction = ("transitive", 0.267)
+    #: Figure 10 degradation from shortest to longest latency.
+    figure10_degradation = {
+        ("pointer", "hidisc"): 0.018,
+        ("pointer", "superscalar"): 0.203,
+        ("neighborhood", "hidisc"): 0.048,
+        ("neighborhood", "superscalar"): 0.139,
+    }
+
+
+PAPER = PaperNumbers()

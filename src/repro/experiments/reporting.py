@@ -1,0 +1,63 @@
+"""Rendering helpers: ASCII tables, bar charts, JSON export.
+
+The harness prints the same rows/series the paper's figures plot; the bar
+renderer gives a terminal-friendly visual of Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from ..utils import format_table
+
+
+def render_bars(series: Mapping[str, Mapping[str, float]],
+                value_format: str = "{:5.3f}",
+                width: int = 40,
+                baseline: float = 1.0) -> str:
+    """Grouped horizontal bar chart.
+
+    *series* maps group label (benchmark) -> {bar label (model): value}.
+    Bars are scaled to the global maximum; a ``|`` marks the baseline.
+    """
+    all_values = [v for bars in series.values() for v in bars.values()]
+    if not all_values:
+        return "(no data)"
+    peak = max(max(all_values), baseline)
+    lines: list[str] = []
+    for group, bars in series.items():
+        lines.append(f"{group}")
+        for label, value in bars.items():
+            filled = int(round(width * value / peak))
+            mark = int(round(width * baseline / peak))
+            bar = ""
+            for i in range(width):
+                if i < filled:
+                    bar += "#"
+                elif i == mark:
+                    bar += "|"
+                else:
+                    bar += " "
+            lines.append(f"  {label:<12s} {value_format.format(value)} {bar}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """ASCII table (thin wrapper, re-exported for the figure modules)."""
+    return format_table(headers, rows)
+
+
+def write_json(path: str | Path, payload: object) -> Path:
+    """Serialise *payload* (nested dicts/lists/floats) to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percentage ('+11.9%')."""
+    return f"{(value - 1.0) * 100:+.1f}%"

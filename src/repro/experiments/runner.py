@@ -1,0 +1,187 @@
+"""Benchmark orchestration: compile once, simulate every model.
+
+:func:`prepare` runs the expensive, latency-independent work for one
+benchmark — functional execution (with verification against the workload's
+reference), HiDISC compilation (with separation validation), decoupled
+trace generation (verified again) and queue/CMAS planning.  The resulting
+:class:`CompiledWorkload` can then be replayed through any machine model at
+any memory-latency point with :func:`run_model`, which is what the
+Figure 10 sweep exploits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..errors import SimulationError
+from ..sim import (
+    CmasPlan,
+    Machine,
+    QueuePlan,
+    RunResult,
+    build_cmas_plan,
+    build_queue_plan,
+)
+from ..sim.functional import DecoupledFunctionalSimulator, DynInstr, FunctionalSimulator
+from ..slicer import HidiscCompilation, compile_hidisc, validate_separation
+from ..workloads import Workload, check_ap_executable
+
+
+@dataclass
+class CompiledWorkload:
+    """Everything latency-independent about one benchmark."""
+
+    workload: Workload
+    compilation: HidiscCompilation
+    trace: list[DynInstr]
+    decoupled_trace: list[DynInstr]
+    queue_plan: QueuePlan
+    cmas_plan_original: CmasPlan
+    cmas_plan_decoupled: CmasPlan
+    #: measurement-window start, per trace (trace position after which
+    #: statistics count; aligned across traces at the same memory access,
+    #: since memory operations are 1:1 between the two).
+    warmup_pos_original: int = 0
+    warmup_pos_decoupled: int = 0
+    prepare_seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    @property
+    def work(self) -> int:
+        """Original-program dynamic instructions inside the measurement
+        window (the unit of work for IPC/speedup)."""
+        return len(self.trace) - self.warmup_pos_original
+
+
+def _warmup_positions(workload: Workload, program, dprogram,
+                      trace: list[DynInstr],
+                      dtrace: list[DynInstr]) -> tuple[int, int]:
+    """Trace positions where measurement starts, aligned at the same
+    memory operation in both traces."""
+    fraction = workload.warmup_fraction
+    if fraction <= 0.0:
+        return 0, 0
+
+    def mem_positions(text, tr):
+        return [i for i, dyn in enumerate(tr) if text[dyn.pc].is_mem]
+
+    mems = mem_positions(program.text, trace)
+    dmems = mem_positions(dprogram.text, dtrace)
+    if len(mems) != len(dmems):
+        raise SimulationError(
+            f"{workload.name}: memory-operation counts diverge between "
+            f"traces ({len(mems)} vs {len(dmems)})"
+        )
+    if not mems:
+        return 0, 0
+    k = min(len(mems) - 1, int(len(mems) * fraction))
+    return mems[k], dmems[k]
+
+
+def prepare(workload: Workload, config: MachineConfig,
+            verify: bool = True) -> CompiledWorkload:
+    """Compile and functionally validate one benchmark."""
+    start = time.perf_counter()
+    program = workload.program
+
+    trace: list[DynInstr] = []
+    seq = FunctionalSimulator(program)
+    seq_state = seq.run(trace=trace)
+    if verify:
+        workload.verify(seq_state)
+
+    comp = compile_hidisc(program, config, trace=trace)
+    validate_separation(comp.separation)
+    check_ap_executable(comp.decoupled, ap_has_fp=config.ap.has_fp)
+
+    dtrace: list[DynInstr] = []
+    dec = DecoupledFunctionalSimulator(comp.decoupled)
+    dec_state = dec.run(trace=dtrace)
+    if verify:
+        workload.verify(dec_state)
+        if not dec.queues.ldq.empty or not dec.queues.sdq.empty:
+            raise SimulationError(
+                f"{workload.name}: queues not drained after decoupled run"
+            )
+
+    warm_orig, warm_dec = _warmup_positions(
+        workload, comp.original, comp.decoupled, trace, dtrace
+    )
+    return CompiledWorkload(
+        workload=workload,
+        compilation=comp,
+        trace=trace,
+        decoupled_trace=dtrace,
+        queue_plan=build_queue_plan(comp.decoupled, dtrace),
+        cmas_plan_original=build_cmas_plan(
+            comp.original, trace, config.cmas.trigger_distance
+        ),
+        cmas_plan_decoupled=build_cmas_plan(
+            comp.decoupled, dtrace, config.cmas.trigger_distance
+        ),
+        warmup_pos_original=warm_orig,
+        warmup_pos_decoupled=warm_dec,
+        prepare_seconds=time.perf_counter() - start,
+    )
+
+
+def run_model(cw: CompiledWorkload, config: MachineConfig,
+              mode: str) -> RunResult:
+    """Replay one compiled benchmark through one machine model."""
+    comp = cw.compilation
+    if mode == "superscalar":
+        machine = Machine(config, comp.original, cw.trace, mode=mode,
+                          work_instructions=cw.work, benchmark=cw.name,
+                          warmup_pos=cw.warmup_pos_original)
+    elif mode == "cp_ap":
+        machine = Machine(config, comp.decoupled, cw.decoupled_trace,
+                          mode=mode, queue_plan=cw.queue_plan,
+                          work_instructions=cw.work, benchmark=cw.name,
+                          warmup_pos=cw.warmup_pos_decoupled)
+    elif mode == "cp_cmp":
+        machine = Machine(config, comp.original, cw.trace, mode=mode,
+                          cmas_plan=cw.cmas_plan_original,
+                          work_instructions=cw.work, benchmark=cw.name,
+                          warmup_pos=cw.warmup_pos_original)
+    elif mode == "hidisc":
+        machine = Machine(config, comp.decoupled, cw.decoupled_trace,
+                          mode=mode, queue_plan=cw.queue_plan,
+                          cmas_plan=cw.cmas_plan_decoupled,
+                          work_instructions=cw.work, benchmark=cw.name,
+                          warmup_pos=cw.warmup_pos_decoupled)
+    else:
+        raise SimulationError(f"unknown model {mode!r}")
+    return machine.run()
+
+
+@dataclass
+class BenchmarkResults:
+    """All model results for one benchmark at one configuration."""
+
+    compiled: CompiledWorkload
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results["superscalar"]
+
+    def speedup(self, mode: str) -> float:
+        return self.results[mode].speedup_over(self.baseline)
+
+    def miss_ratio(self, mode: str) -> float:
+        return self.results[mode].miss_rate_ratio(self.baseline)
+
+
+def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
+                  modes: tuple[str, ...] = ("superscalar", "cp_ap",
+                                            "cp_cmp", "hidisc")) -> BenchmarkResults:
+    """Run *modes* on one compiled benchmark."""
+    out = BenchmarkResults(compiled=cw)
+    for mode in modes:
+        out.results[mode] = run_model(cw, config, mode)
+    return out

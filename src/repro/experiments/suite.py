@@ -1,0 +1,109 @@
+"""Run the whole benchmark suite once; every figure reads from the result.
+
+Figures 8 and 9 and Table 2 are different views of the same 7x4 grid of
+simulations, so the suite runs the grid once and the figure modules format
+it.  Figure 10 needs its own latency sweep (see
+:mod:`repro.experiments.figure10`), reusing the suite's compiled
+workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..workloads import Workload, all_workloads, quick_workloads
+from .models import MODEL_ORDER
+from .runner import BenchmarkResults, CompiledWorkload, prepare, run_benchmark
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class SuiteResult:
+    """The 7-benchmark x 4-model simulation grid."""
+
+    config: MachineConfig
+    quick: bool
+    benchmarks: dict[str, BenchmarkResults] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.benchmarks)
+
+    def mean_speedup(self, mode: str) -> float:
+        """Arithmetic mean speedup over the baseline (paper's Table 2)."""
+        values = [b.speedup(mode) for b in self.benchmarks.values()]
+        return sum(values) / len(values)
+
+    def mean_miss_reduction(self, mode: str) -> float:
+        """Mean fraction of L1 demand misses eliminated vs the baseline."""
+        values = [1.0 - b.miss_ratio(mode) for b in self.benchmarks.values()]
+        return sum(values) / len(values)
+
+    def to_payload(self) -> dict:
+        """JSON-ready nested dict of the whole grid."""
+        out: dict = {"quick": self.quick, "elapsed_seconds": self.elapsed_seconds,
+                     "benchmarks": {}}
+        for name, bench in self.benchmarks.items():
+            entry: dict = {"work_instructions": bench.compiled.work, "models": {}}
+            for mode, result in bench.results.items():
+                entry["models"][mode] = {
+                    "cycles": result.cycles,
+                    "ipc": result.ipc,
+                    "l1_demand_miss_rate": result.l1_demand_miss_rate,
+                    "speedup": result.speedup_over(bench.baseline),
+                    "lod_cycles": result.loss_of_decoupling_cycles(),
+                    "cmas_threads": result.cmas_threads_forked,
+                }
+            out["benchmarks"][name] = entry
+        return out
+
+
+def run_suite(
+    config: MachineConfig | None = None,
+    quick: bool = False,
+    seed: int = 2003,
+    modes: tuple[str, ...] = MODEL_ORDER,
+    workloads: Iterable[Workload] | None = None,
+    progress: ProgressFn | None = None,
+) -> SuiteResult:
+    """Prepare and simulate every benchmark on every model."""
+    config = config if config is not None else MachineConfig()
+    if workloads is None:
+        workloads = quick_workloads(seed) if quick else all_workloads(seed)
+    start = time.perf_counter()
+    suite = SuiteResult(config=config, quick=quick)
+    for workload in workloads:
+        if progress:
+            progress(f"preparing {workload.name} ...")
+        compiled = prepare(workload, config)
+        if progress:
+            progress(
+                f"  compiled in {compiled.prepare_seconds:.1f}s "
+                f"({compiled.work} dynamic instructions); simulating ..."
+            )
+        bench = run_benchmark(compiled, config, modes=modes)
+        suite.benchmarks[workload.name] = bench
+        if progress:
+            base = bench.baseline
+            progress(
+                f"  {workload.name}: baseline {base.cycles} cycles "
+                f"(IPC {base.ipc:.2f}), hidisc speedup "
+                f"{bench.speedup('hidisc'):.3f}"
+                if "hidisc" in bench.results else f"  {workload.name}: done"
+            )
+    suite.elapsed_seconds = time.perf_counter() - start
+    return suite
+
+
+def prepare_suite_workload(name: str, config: MachineConfig,
+                           quick: bool = False,
+                           seed: int = 2003) -> CompiledWorkload:
+    """Prepare a single benchmark by name (used by Figure 10 and tests)."""
+    from ..workloads import get_workload
+
+    return prepare(get_workload(name, quick=quick, seed=seed), config)

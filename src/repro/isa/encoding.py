@@ -1,0 +1,161 @@
+"""Binary encoding of instructions.
+
+Instructions are packed into 64-bit words::
+
+    bits 63..57   opcode        (7 bits, stable declaration order)
+    bits 56..51   rd            (6 bits, register id 0..63)
+    bits 50..45   rs1
+    bits 44..39   rs2
+    bits 38..29   flags         (annotation bits, see below)
+    bits 28..0    imm / target  (29-bit two's complement)
+
+The flag bits persist the HiDISC annotation field (the paper stores its
+annotations in spare bits of the SimpleScalar binary the same way):
+
+    bit 0  stream valid (separated)
+    bit 1  stream == AS
+    bit 2  cmas
+    bit 3  trigger
+    bit 4  sdq_data
+    bit 5  probable_miss
+    bit 6  to_ldq (load also writes the LDQ)
+    bit 7  to_sdq (CS result also goes to the SDQ)
+    bit 8  ldq_rs1 (operand rs1 reads the LDQ)
+    bit 9  ldq_rs2 (operand rs2 reads the LDQ)
+
+``imm`` and ``target`` share the low field: control-flow formats store the
+target there, every other format stores the immediate.  Immediates outside
+29 bits cannot be encoded (the builder materialises larger constants with
+shift/or sequences; the 128 MiB simulated address space fits comfortably).
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError
+from .instruction import Annotations, Instruction, Stream
+from .opcodes import CODE_TO_OP, OP_TO_CODE, Format
+
+_IMM_MIN = -(1 << 28)
+_IMM_MAX = (1 << 28) - 1
+
+_F_SEPARATED = 1 << 0
+_F_AS = 1 << 1
+_F_CMAS = 1 << 2
+_F_TRIGGER = 1 << 3
+_F_SDQ = 1 << 4
+_F_MISS = 1 << 5
+_F_TOLDQ = 1 << 6
+_F_TOSDQ = 1 << 7
+_F_LDQ_RS1 = 1 << 8
+_F_LDQ_RS2 = 1 << 9
+
+
+def _encode_flags(ann: Annotations) -> int:
+    flags = 0
+    if ann.stream is not Stream.NONE:
+        flags |= _F_SEPARATED
+        if ann.stream is Stream.AS:
+            flags |= _F_AS
+    if ann.cmas:
+        flags |= _F_CMAS
+    if ann.trigger:
+        flags |= _F_TRIGGER
+    if ann.sdq_data:
+        flags |= _F_SDQ
+    if ann.probable_miss:
+        flags |= _F_MISS
+    if ann.to_ldq:
+        flags |= _F_TOLDQ
+    if ann.to_sdq:
+        flags |= _F_TOSDQ
+    if ann.ldq_rs1:
+        flags |= _F_LDQ_RS1
+    if ann.ldq_rs2:
+        flags |= _F_LDQ_RS2
+    return flags
+
+
+def _decode_flags(flags: int) -> Annotations:
+    if flags & _F_SEPARATED:
+        stream = Stream.AS if flags & _F_AS else Stream.CS
+    else:
+        stream = Stream.NONE
+    return Annotations(
+        stream=stream,
+        cmas=bool(flags & _F_CMAS),
+        probable_miss=bool(flags & _F_MISS),
+        trigger=bool(flags & _F_TRIGGER),
+        sdq_data=bool(flags & _F_SDQ),
+        to_ldq=bool(flags & _F_TOLDQ),
+        to_sdq=bool(flags & _F_TOSDQ),
+        ldq_rs1=bool(flags & _F_LDQ_RS1),
+        ldq_rs2=bool(flags & _F_LDQ_RS2),
+    )
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Encode *instr* into a 64-bit word."""
+    code = OP_TO_CODE[instr.op]
+    if code > 0x7F:
+        raise EncodingError(f"opcode space exhausted for {instr.op}")
+    fmt = instr.op.info.fmt
+    low = instr.target if fmt in (Format.BRANCH, Format.BRANCH1, Format.JUMP) else instr.imm
+    if not (_IMM_MIN <= low <= _IMM_MAX):
+        raise EncodingError(
+            f"immediate/target {low} of {instr.op.mnemonic} does not fit in 29 bits"
+        )
+    for name, reg in (("rd", instr.rd), ("rs1", instr.rs1), ("rs2", instr.rs2)):
+        if not (0 <= reg < 64):
+            raise EncodingError(f"{instr.op.mnemonic}: {name}={reg} out of range")
+    flags = _encode_flags(instr.ann)
+    word = (
+        (code << 57)
+        | (instr.rd << 51)
+        | (instr.rs1 << 45)
+        | (instr.rs2 << 39)
+        | (flags << 29)
+        | (low & 0x1FFFFFFF)
+    )
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 64-bit word back into an :class:`Instruction`."""
+    if not (0 <= word < (1 << 64)):
+        raise EncodingError(f"instruction word {word:#x} out of range")
+    code = (word >> 57) & 0x7F
+    try:
+        op = CODE_TO_OP[code]
+    except KeyError:
+        raise EncodingError(f"unknown opcode {code}") from None
+    rd = (word >> 51) & 0x3F
+    rs1 = (word >> 45) & 0x3F
+    rs2 = (word >> 39) & 0x3F
+    flags = (word >> 29) & 0x3FF
+    low = word & 0x1FFFFFFF
+    if low & 0x10000000:
+        low -= 1 << 29
+    instr = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, ann=_decode_flags(flags))
+    if op.info.fmt in (Format.BRANCH, Format.BRANCH1, Format.JUMP):
+        instr.target = low
+    else:
+        instr.imm = low
+    return instr
+
+
+def encode_program_text(instructions: list[Instruction]) -> bytes:
+    """Encode a text segment to little-endian bytes (8 bytes/instruction)."""
+    out = bytearray()
+    for instr in instructions:
+        out += encode_instruction(instr).to_bytes(8, "little")
+    return bytes(out)
+
+
+def decode_program_text(blob: bytes) -> list[Instruction]:
+    """Inverse of :func:`encode_program_text`."""
+    if len(blob) % 8:
+        raise EncodingError("text segment length is not a multiple of 8")
+    return [
+        decode_instruction(int.from_bytes(blob[i : i + 8], "little"))
+        for i in range(0, len(blob), 8)
+    ]

@@ -1,0 +1,79 @@
+"""Register file specification.
+
+The reproduction ISA is a 64-bit PISA/MIPS-flavoured RISC with
+
+* 32 integer registers ``r0``-``r31`` (``r0`` hardwired to zero), and
+* 32 floating-point registers ``f0``-``f31`` (IEEE binary64).
+
+Internally a register is a small integer *register id*: ``0..31`` are the
+integer registers and ``32..63`` the FP registers.  This keeps dependence
+analysis and the timing simulators' scoreboards flat and fast.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Register id of the hardwired-zero register.
+ZERO = 0
+
+#: First floating point register id.
+FP_BASE = NUM_INT_REGS
+
+# Conventional ABI aliases (MIPS-style, used by the assembler and
+# disassembler; the hardware does not care).
+_INT_ALIASES = {
+    "zero": 0,
+    "at": 1,
+    "v0": 2, "v1": 3,
+    "a0": 4, "a1": 5, "a2": 6, "a3": 7,
+    "t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+    "s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "t8": 24, "t9": 25,
+    "k0": 26, "k1": 27,
+    "gp": 28, "sp": 29, "fp": 30, "ra": 31,
+}
+
+#: name -> register id, including both raw (``r5``/``f3``) and ABI names.
+NAME_TO_REG: dict[str, int] = {}
+for _i in range(NUM_INT_REGS):
+    NAME_TO_REG[f"r{_i}"] = _i
+for _i in range(NUM_FP_REGS):
+    NAME_TO_REG[f"f{_i}"] = FP_BASE + _i
+NAME_TO_REG.update(_INT_ALIASES)
+
+#: register id -> canonical display name.
+REG_TO_NAME: dict[int, str] = {}
+for _i in range(NUM_INT_REGS):
+    REG_TO_NAME[_i] = f"r{_i}"
+for _i in range(NUM_FP_REGS):
+    REG_TO_NAME[FP_BASE + _i] = f"f{_i}"
+
+
+def is_int_reg(reg: int) -> bool:
+    """True iff *reg* is an integer register id."""
+    return 0 <= reg < NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True iff *reg* is a floating-point register id."""
+    return FP_BASE <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Canonical name (``r7`` / ``f2``) of register id *reg*."""
+    try:
+        return REG_TO_NAME[reg]
+    except KeyError:
+        raise ValueError(f"invalid register id {reg}") from None
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``$t0``, ``r4``, ``f11``...) to a register id."""
+    name = name.strip().lstrip("$").lower()
+    try:
+        return NAME_TO_REG[name]
+    except KeyError:
+        raise ValueError(f"unknown register name {name!r}") from None

@@ -1,0 +1,74 @@
+"""Simulation layer: functional golden model, caches, queues, timing cores.
+
+Typical use::
+
+    from repro.sim import generate_trace, Machine
+    trace, state = generate_trace(program)
+    result = Machine(config, program, trace, mode="superscalar").run()
+"""
+
+from .branch import BranchPredictor, BranchStats, BranchTargetBuffer
+from .cache import AccessResult, Cache, CacheStats
+from .decoupled import MODES, Machine
+from .functional import (
+    ArchState,
+    DecoupledFunctionalSimulator,
+    DynInstr,
+    FunctionalSimulator,
+    load_program,
+)
+from .hierarchy import HierarchyStats, MemoryHierarchy
+from .machine import RunResult
+from .memory import MainMemory
+from .profiler import CacheProfile, PcProfile, profile_cache
+from .queues import ArchQueue, QueueSet, QueueStats
+from .superscalar import run_superscalar
+from .trace import (
+    ROUTE_AP,
+    ROUTE_CP,
+    CmasPlan,
+    CmasThread,
+    QueuePlan,
+    TraceBundle,
+    build_cmas_plan,
+    build_queue_plan,
+    generate_decoupled_trace,
+    generate_trace,
+)
+
+__all__ = [
+    "AccessResult",
+    "ArchQueue",
+    "ArchState",
+    "BranchPredictor",
+    "BranchStats",
+    "BranchTargetBuffer",
+    "Cache",
+    "CacheProfile",
+    "CacheStats",
+    "CmasPlan",
+    "CmasThread",
+    "DecoupledFunctionalSimulator",
+    "DynInstr",
+    "FunctionalSimulator",
+    "HierarchyStats",
+    "MODES",
+    "Machine",
+    "MainMemory",
+    "MemoryHierarchy",
+    "PcProfile",
+    "QueuePlan",
+    "QueueSet",
+    "QueueStats",
+    "ROUTE_AP",
+    "ROUTE_CP",
+    "RunResult",
+    "TraceBundle",
+    "build_cmas_plan",
+    "build_queue_plan",
+    "generate_decoupled_trace",
+    "generate_trace",
+    "load_program",
+    "profile_cache",
+    "run_superscalar",
+]

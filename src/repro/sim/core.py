@@ -1,0 +1,254 @@
+"""The trace-driven out-of-order-window timing core.
+
+One :class:`TimingCore` models one processor (superscalar, CP, AP or CMP):
+
+* **dispatch** — pull instructions from the core's instruction queue into
+  the scheduling window (the RUU in SimpleScalar terms), computing the
+  dependence edges at that moment: register dependences via a per-core
+  last-writer map, memory dependences via a last-store map, and queue
+  dependences (LDQ/SDQ matching and capacity) from the machine's
+  :class:`~repro.sim.trace.QueuePlan`.
+* **issue** — oldest-first wakeup/select over the window, limited by issue
+  width, functional-unit issue bandwidth and memory ports.  Memory
+  operations access the shared :class:`~repro.sim.hierarchy.MemoryHierarchy`
+  at issue time and complete when the (possibly merged) fill lands.
+* **commit** — in-order retirement, up to the commit width.
+
+All cross-instruction communication goes through the machine-owned
+``complete_at`` array indexed by *global id*, so dependences freely cross
+cores (a CP pop waits on an AP push) and CMAS copies on the CMP wait on
+nothing outside their own thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..config import CoreConfig
+from ..isa.instruction import Instruction
+from ..isa.opcodes import FuClass, Op
+from .fu import FuPools
+
+_STORE_GRANULE = ~7  # memory dependences tracked at 8-byte granularity
+
+
+class WindowEntry:
+    """One in-flight instruction in a core's scheduling window."""
+
+    __slots__ = ("gid", "pos", "instr", "addr", "deps", "min_ready",
+                 "issued", "is_prefetch")
+
+    def __init__(self, gid: int, pos: int, instr: Instruction, addr: int,
+                 deps: list[int], min_ready: int, is_prefetch: bool):
+        self.gid = gid
+        self.pos = pos
+        self.instr = instr
+        self.addr = addr
+        self.deps = deps
+        self.min_ready = min_ready
+        self.issued = False
+        self.is_prefetch = is_prefetch
+
+
+class CoreStats:
+    """Per-core pipeline statistics."""
+
+    __slots__ = ("committed", "issued_mem", "stall_cycles",
+                 "ldq_empty_stalls", "sdq_empty_stalls", "queue_full_stalls",
+                 "max_window")
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.issued_mem = 0
+        self.stall_cycles = 0
+        self.ldq_empty_stalls = 0
+        self.sdq_empty_stalls = 0
+        self.queue_full_stalls = 0
+        self.max_window = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class TimingCore:
+    """One processor's pipeline; see the module docstring."""
+
+    def __init__(self, name: str, config: CoreConfig, machine) -> None:
+        self.name = name
+        self.config = config
+        self.machine = machine
+        self.fu = FuPools(config)
+        self.window: deque[WindowEntry] = deque()
+        #: (gid, pos, min_ready, thread_last_writer-or-None) awaiting dispatch
+        self.instr_queue: deque = deque()
+        self.instr_queue_capacity = machine.instr_queue_capacity(name)
+        self.last_writer: dict[int, int] = {}
+        self.last_store: dict[int, int] = {}
+        self.stats = CoreStats()
+        self.is_prefetch_core = name == "CMP"
+
+    # ------------------------------------------------------------------
+    def queue_has_room(self, count: int = 1) -> bool:
+        return len(self.instr_queue) + count <= self.instr_queue_capacity
+
+    def enqueue(self, gid: int, pos: int, min_ready: int,
+                extra_deps: tuple[int, ...] = ()) -> None:
+        self.instr_queue.append((gid, pos, min_ready, extra_deps))
+
+    @property
+    def drained(self) -> bool:
+        return not self.instr_queue and not self.window
+
+    # ------------------------------------------------------------------
+    def dispatch(self, now: int) -> int:
+        """Move instructions from the queue into the window; returns count."""
+        machine = self.machine
+        trace = machine.trace
+        text = machine.text_for(self)
+        plan = machine.queue_plan
+        dispatched = 0
+        width = self.config.issue_width
+        while (self.instr_queue and dispatched < width
+               and len(self.window) < self.config.window):
+            gid, pos, min_ready, extra_deps = self.instr_queue[0]
+            dyn = trace[pos]
+            instr = text[dyn.pc]
+            lw = self.last_writer
+            ann = instr.ann
+            deps: list[int] = list(extra_deps) if extra_deps else []
+            # Register sources — "$LDQ"-flagged operands take their value
+            # (and dependence) from the queue instead of the register file.
+            if ann.ldq_rs1 or ann.ldq_rs2:
+                srcs = [
+                    reg for reg, flagged in
+                    ((instr.rs1, ann.ldq_rs1), (instr.rs2, ann.ldq_rs2))
+                    if not flagged and reg != 0
+                    and reg in set(instr.source_regs())
+                ]
+            else:
+                srcs = instr.source_regs()
+            for reg in srcs:
+                producer = lw.get(reg)
+                if producer is not None:
+                    deps.append(producer)
+            info = instr.op.info
+            # Queue dependences: CMAS copies on the CMP run outside the
+            # LDQ/SDQ protocol (the CMP only updates cache state).
+            if plan is not None and not self.is_prefetch_core:
+                if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+                    deps.extend(plan.ldq_match[pos])
+                elif info.writes_ldq or (instr.is_load and ann.to_ldq):
+                    seq = plan.ldq_push_seq[pos]
+                    slot = seq - machine.ldq_capacity
+                    if slot >= 0:
+                        deps.append(plan.ldq_pop_pos[slot])
+                if info.writes_sdq or ann.to_sdq:
+                    seq = plan.sdq_push_seq[pos]
+                    slot = seq - machine.sdq_capacity
+                    if slot >= 0:
+                        deps.append(plan.sdq_pop_pos[slot])
+                elif instr.is_store and ann.sdq_data:
+                    deps.append(plan.sdq_match[pos])
+            is_prefetch = self.is_prefetch_core
+            if instr.is_mem and not is_prefetch:
+                granule = dyn.addr & _STORE_GRANULE
+                producer = self.last_store.get(granule)
+                if producer is not None:
+                    deps.append(producer)
+                if instr.is_store:
+                    self.last_store[granule] = gid
+            dest = instr.dest_reg()
+            if dest is not None:
+                lw[dest] = gid
+            self.instr_queue.popleft()
+            self.window.append(
+                WindowEntry(gid, pos, instr, dyn.addr, deps, min_ready,
+                            is_prefetch)
+            )
+            dispatched += 1
+        if len(self.window) > self.stats.max_window:
+            self.stats.max_window = len(self.window)
+        return dispatched
+
+    # ------------------------------------------------------------------
+    def issue(self, now: int) -> int:
+        """Wakeup/select over the window; returns number issued."""
+        machine = self.machine
+        complete_at = machine.complete_at
+        hierarchy = machine.hierarchy
+        self.fu.new_cycle()
+        issued = 0
+        width = self.config.issue_width
+        for entry in self.window:
+            if issued >= width:
+                break
+            if entry.issued or entry.min_ready > now:
+                continue
+            ready = True
+            for dep in entry.deps:
+                t = complete_at[dep]
+                if t is None or t > now:
+                    ready = False
+                    break
+            if not ready:
+                continue
+            info = entry.instr.op.info
+            fu = info.fu
+            if not self.fu.take(fu):
+                continue
+            if info.is_load or info.is_store:
+                latency = hierarchy.access(
+                    entry.addr, is_write=info.is_store, now=now,
+                    is_prefetch=entry.is_prefetch,
+                )
+                if info.is_store:
+                    # Stores drain through a store buffer: the pipeline does
+                    # not wait for the fill, only for the L1 write port.
+                    latency = hierarchy.l1.config.latency
+                self.stats.issued_mem += 1
+            else:
+                latency = info.latency
+            entry.issued = True
+            complete_at[entry.gid] = now + latency
+            issued += 1
+            if entry.instr.is_control:
+                machine.note_branch_issue(entry.gid, now + latency)
+        return issued
+
+    # ------------------------------------------------------------------
+    def commit(self, now: int) -> int:
+        """In-order retirement from the window head; returns count."""
+        complete_at = self.machine.complete_at
+        committed = 0
+        window = self.window
+        while window and committed < self.config.commit_width:
+            head = window[0]
+            t = complete_at[head.gid] if head.issued else None
+            if t is None or t > now:
+                break
+            window.popleft()
+            committed += 1
+        self.stats.committed += committed
+        if committed == 0 and window:
+            self.stats.stall_cycles += 1
+            self._attribute_stall(window[0], now)
+        return committed
+
+    def _attribute_stall(self, head: WindowEntry, now: int) -> None:
+        """Classify why the window head has not retired (LoD accounting)."""
+        if head.issued:
+            return
+        complete_at = self.machine.complete_at
+        info = head.instr.op.info
+        blocked = any(
+            complete_at[d] is None or complete_at[d] > now for d in head.deps
+        )
+        if not blocked:
+            return
+        ann = head.instr.ann
+        if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+            self.stats.ldq_empty_stalls += 1
+        elif info.writes_ldq or info.writes_sdq or ann.to_ldq or ann.to_sdq:
+            self.stats.queue_full_stalls += 1
+        elif head.instr.is_store and ann.sdq_data:
+            self.stats.sdq_empty_stalls += 1

@@ -1,0 +1,307 @@
+"""The unified timing machine: baseline superscalar, CP+AP, CP+CMP, HiDISC.
+
+All four architecture models of the paper's §5.3 are one machine class with
+two switches:
+
+* ``separated`` — route the annotated streams to CP/AP through the
+  separator (access/execute decoupling on), or feed everything to a single
+  superscalar core (off).
+* ``cmp_enabled`` — fork CMAS threads onto the CMP at trigger points
+  (cache prefetching on/off).
+
+================  ==========  ============
+model             separated   cmp_enabled
+================  ==========  ============
+``superscalar``   no          no
+``cp_ap``         yes         no
+``cp_cmp``        no          yes
+``hidisc``        yes         yes
+================  ==========  ============
+
+The machine owns the shared front end (fetch + separator + branch
+predictor), the shared memory hierarchy, the global ``complete_at`` array
+and the simulation loop.  The loop is cycle-stepped but *skips dead time*:
+when a cycle makes no progress (every core stalled on outstanding fills),
+the clock jumps to the next completion event — a large win when all cores
+sit behind a 120-cycle memory access.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..config import MachineConfig
+from ..errors import SimulationError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Op
+from .branch import BranchPredictor
+from .core import TimingCore
+from .functional import DynInstr
+from .hierarchy import MemoryHierarchy
+from .machine import RunResult
+from .trace import ROUTE_AP, CmasPlan, QueuePlan
+
+MODES = ("superscalar", "cp_ap", "cp_cmp", "hidisc")
+
+_CMP_QUEUE_CAPACITY = 4096
+
+
+class Machine:
+    """One configured machine ready to replay one trace."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        program: Program,
+        trace: list[DynInstr],
+        mode: str,
+        queue_plan: QueuePlan | None = None,
+        cmas_plan: CmasPlan | None = None,
+        work_instructions: int | None = None,
+        benchmark: str = "",
+        warmup_pos: int = 0,
+    ):
+        if mode not in MODES:
+            raise SimulationError(f"unknown machine mode {mode!r}")
+        self.config = config
+        self.program = program
+        self.trace = trace
+        self.mode = mode
+        self.separated = mode in ("cp_ap", "hidisc")
+        self.cmp_enabled = mode in ("cp_cmp", "hidisc")
+        self.queue_plan = queue_plan if self.separated else None
+        self.cmas_plan = cmas_plan if self.cmp_enabled else None
+        if self.separated and queue_plan is None:
+            raise SimulationError(f"mode {mode} requires a queue plan")
+        if self.cmp_enabled and cmas_plan is None:
+            raise SimulationError(f"mode {mode} requires a CMAS plan")
+        self.work_instructions = (
+            work_instructions if work_instructions is not None else len(trace)
+        )
+        self.benchmark = benchmark
+
+        self.hierarchy = MemoryHierarchy.from_config(config)
+        self.predictor = BranchPredictor(config.branch)
+        self.ldq_capacity = config.queues.ldq_entries
+        self.sdq_capacity = config.queues.sdq_entries
+
+        cmas_extra = cmas_plan.total_prefetch_instructions if self.cmp_enabled else 0
+        self.complete_at: list[int | None] = [None] * (len(trace) + cmas_extra)
+        self._next_cmas_gid = len(trace)
+
+        self.cores: list[TimingCore] = []
+        if self.separated:
+            self.cp = TimingCore("CP", config.cp, self)
+            self.ap = TimingCore("AP", config.ap, self)
+            self.cores += [self.cp, self.ap]
+        else:
+            self.main = TimingCore("main", config.superscalar, self)
+            self.cores.append(self.main)
+        if self.cmp_enabled:
+            self.cmp = TimingCore("CMP", config.cmp, self)
+            self.cores.append(self.cmp)
+
+        self._fetch_pos = 0
+        self._waiting_branch: int | None = None  # gid of mispredicted branch
+        self._threads_forked = 0
+        self._threads_dropped = 0
+        #: last gid of each forked thread, oldest first (context limiting).
+        self._thread_last_gids: list[int] = []
+        # Measurement window (SimpleScalar's -fastfwd): statistics reset and
+        # the cycle counter re-anchored when fetch crosses `warmup_pos`.
+        self._warmup_pos = warmup_pos
+        self._measure_start_cycle = 0
+        self._in_warmup = warmup_pos > 0
+
+    # ------------------------------------------------------------------
+    # Services used by the cores.
+    # ------------------------------------------------------------------
+    def text_for(self, core: TimingCore) -> list[Instruction]:
+        return self.program.text
+
+    def instr_queue_capacity(self, core_name: str) -> int:
+        if core_name == "CMP":
+            return _CMP_QUEUE_CAPACITY
+        if core_name == "main":
+            # The single-stream models have no separator queue bottleneck;
+            # give the main core a deep fetch queue.
+            return max(64, self.config.queues.instr_queue_entries)
+        return self.config.queues.instr_queue_entries
+
+    def note_branch_issue(self, gid: int, completes: int) -> None:
+        """Called by a core when a control instruction issues (no-op: the
+        separator polls ``complete_at`` directly)."""
+
+    # ------------------------------------------------------------------
+    # Front end: fetch + separate + predict + trigger.
+    # ------------------------------------------------------------------
+    def _separator_step(self, now: int) -> int:
+        trace = self.trace
+        text = self.program.text
+        n = len(trace)
+        if self._waiting_branch is not None:
+            resolved = self.complete_at[self._waiting_branch]
+            if resolved is None or now < resolved + self.config.branch.mispredict_penalty:
+                return 0
+            self._waiting_branch = None
+
+        fetched = 0
+        route = self.queue_plan.route if self.separated else None
+        by_trigger = self.cmas_plan.by_trigger if self.cmp_enabled else None
+        while fetched < self.config.fetch_width and self._fetch_pos < n:
+            pos = self._fetch_pos
+            dyn = trace[pos]
+            instr = text[dyn.pc]
+            if self.separated:
+                core = self.ap if route[pos] == ROUTE_AP else self.cp
+            else:
+                core = self.main
+            if not core.queue_has_room():
+                break
+            if by_trigger is not None and pos in by_trigger:
+                self._fork_threads(by_trigger[pos], now)
+            core.enqueue(pos, pos, now + 1)
+            self._fetch_pos = pos + 1
+            fetched += 1
+            if self._in_warmup and self._fetch_pos >= self._warmup_pos:
+                self._begin_measurement(now)
+
+            if instr.is_control and instr.op is not Op.HALT:
+                if self._predict(instr, dyn, pos):
+                    self._waiting_branch = pos
+                    break
+        return fetched
+
+    def _begin_measurement(self, now: int) -> None:
+        """Start the measurement window: reset statistics, keep all
+        micro-architectural state (warm caches, predictor, queues)."""
+        self._in_warmup = False
+        self._measure_start_cycle = now
+        self.hierarchy.reset_stats()
+        from .branch import BranchStats
+
+        self.predictor.stats = BranchStats()
+        for core in self.cores:
+            from .core import CoreStats
+
+            # Keep `committed` (needed for drain checks is not — commit is
+            # window-based); reset the diagnostic counters only.
+            stats = CoreStats()
+            stats.committed = core.stats.committed
+            core.stats = stats
+
+    def _predict(self, instr: Instruction, dyn: DynInstr, pos: int) -> bool:
+        """Consult/update the predictor; True if the front end must wait."""
+        if instr.is_branch:
+            taken = dyn.next_pc != dyn.pc + 1
+            return self.predictor.resolve(dyn.pc, taken, dyn.next_pc, "cond")
+        if instr.op is Op.JR:
+            return self.predictor.resolve(dyn.pc, True, dyn.next_pc, "indirect")
+        # J / JAL: target known at decode.
+        return self.predictor.resolve(dyn.pc, True, dyn.next_pc, "direct")
+
+    def _fork_threads(self, thread_indices: list[int], now: int) -> None:
+        max_contexts = self.config.cmas.max_contexts
+        for index in thread_indices:
+            thread = self.cmas_plan.threads[index]
+            if not self.cmp.queue_has_room(len(thread.positions)):
+                self._threads_dropped += 1
+                self._next_cmas_gid += len(thread.positions)
+                continue
+            self._threads_forked += 1
+            # Hardware context limit: thread i may not start before thread
+            # (i - max_contexts) has finished.
+            extra: tuple[int, ...] = ()
+            if len(self._thread_last_gids) >= max_contexts:
+                extra = (self._thread_last_gids[-max_contexts],)
+            first = True
+            for p in thread.positions:
+                self.cmp.enqueue(self._next_cmas_gid, p, now + 1,
+                                 extra if first else ())
+                first = False
+                self._next_cmas_gid += 1
+            self._thread_last_gids.append(self._next_cmas_gid - 1)
+
+    # ------------------------------------------------------------------
+    # The simulation loop.
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 2_000_000_000) -> RunResult:
+        now = 0
+        n = len(self.trace)
+        cores = self.cores
+        dead_skips = 0
+        while True:
+            progress = self._separator_step(now)
+            for core in cores:
+                progress += core.dispatch(now)
+                progress += core.issue(now)
+            for core in cores:
+                progress += core.commit(now)
+
+            main_done = self._fetch_pos >= n and all(
+                c.drained for c in cores if c.name != "CMP"
+            )
+            if main_done:
+                break
+            if progress == 0:
+                next_now = self._skip_to_next_event(now)
+                dead_skips = dead_skips + 1 if next_now == now + 1 else 0
+                if dead_skips > 1000:
+                    raise SimulationError(
+                        f"{self.benchmark}: no progress for 1000 cycles on "
+                        f"{self.mode} at cycle {now} — queue plan deadlock?"
+                    )
+                now = next_now
+            else:
+                dead_skips = 0
+                now += 1
+            if now > max_cycles:
+                raise SimulationError(
+                    f"{self.benchmark}: exceeded {max_cycles} cycles on {self.mode}"
+                )
+        return self._result(now)
+
+    def _skip_to_next_event(self, now: int) -> int:
+        """Advance the clock to the next cycle where anything can happen."""
+        candidates: list[int] = []
+        complete_at = self.complete_at
+        for core in self.cores:
+            for entry in core.window:
+                if entry.issued:
+                    t = complete_at[entry.gid]
+                    if t is not None and t > now:
+                        candidates.append(t)
+                elif entry.min_ready > now:
+                    candidates.append(entry.min_ready)
+            if core.instr_queue:
+                min_ready = core.instr_queue[0][2]
+                if min_ready > now:
+                    candidates.append(min_ready)
+        if self._waiting_branch is not None:
+            t = complete_at[self._waiting_branch]
+            if t is not None:
+                candidates.append(t + self.config.branch.mispredict_penalty)
+        if not candidates:
+            # Nothing in flight and no progress: a genuine deadlock would be
+            # a queue-plan bug.  Nudge one cycle; the max_cycles guard
+            # converts a persistent deadlock into a diagnostic.
+            return now + 1
+        return max(now + 1, min(candidates))
+
+    # ------------------------------------------------------------------
+    def _result(self, cycles: int) -> RunResult:
+        result = RunResult(
+            machine=self.mode,
+            benchmark=self.benchmark,
+            cycles=cycles - self._measure_start_cycle,
+            total_cycles=cycles,
+            work_instructions=self.work_instructions,
+            committed={c.name: c.stats.committed for c in self.cores},
+            l1=self.hierarchy.l1.stats,
+            l2=self.hierarchy.l2.stats,
+            memory=self.hierarchy.stats,
+            branch=self.predictor.stats,
+            core_stats={c.name: c.stats.as_dict() for c in self.cores},
+            cmas_threads_forked=self._threads_forked,
+            cmas_threads_dropped=self._threads_dropped,
+        )
+        return result

@@ -1,0 +1,43 @@
+"""Functional-unit issue bandwidth model.
+
+Units are modelled as fully pipelined: what a pool limits is *issues per
+cycle*, not occupancy.  (sim-outorder models some units as unpipelined;
+for the DIS kernels the difference is negligible next to memory latency,
+and the simplification keeps the wakeup loop cheap — a per-cycle counter
+reset instead of per-unit busy lists.)
+"""
+
+from __future__ import annotations
+
+from ..config import CoreConfig
+from ..isa.opcodes import FuClass
+
+
+class FuPools:
+    """Per-cycle issue counters for one core's functional units."""
+
+    def __init__(self, config: CoreConfig):
+        self.limits: dict[FuClass, int] = {
+            FuClass.IALU: config.int_alus,
+            FuClass.IMULDIV: config.int_muldivs,
+            FuClass.FALU: config.fp_alus if config.has_fp else 0,
+            FuClass.FMULDIV: config.fp_muldivs if config.has_fp else 0,
+            FuClass.LSU: config.mem_ports if config.has_lsu else 0,
+            FuClass.NONE: 1 << 30,
+        }
+        self._used: dict[FuClass, int] = {fu: 0 for fu in self.limits}
+
+    def new_cycle(self) -> None:
+        """Reset issue counters at the start of a cycle."""
+        for fu in self._used:
+            self._used[fu] = 0
+
+    def available(self, fu: FuClass) -> bool:
+        return self._used[fu] < self.limits[fu]
+
+    def take(self, fu: FuClass) -> bool:
+        """Claim one issue slot; returns False if the pool is exhausted."""
+        if self._used[fu] >= self.limits[fu]:
+            return False
+        self._used[fu] += 1
+        return True

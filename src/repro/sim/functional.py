@@ -1,0 +1,451 @@
+"""Functional (architectural) simulation.
+
+Two executors live here:
+
+* :class:`FunctionalSimulator` — the golden model.  Executes a program
+  sequentially on one architectural state, optionally recording the dynamic
+  trace that drives the timing simulators.
+
+* :class:`DecoupledFunctionalSimulator` — executes an *annotated* program
+  with **two register files** (CP and AP) connected only by the LDQ/SDQ
+  queues, exactly like the real HiDISC datapath.  Each instruction executes
+  on its stream's register file; values cross streams only through explicit
+  communication instructions.  Running this and comparing final memory with
+  the golden model is the soundness check for the stream separation
+  (DESIGN.md "Separation soundness").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asm.program import DATA_BASE, MEMORY_BYTES, STACK_TOP, Program
+from ..errors import SimulationError
+from ..isa.instruction import Instruction, Stream
+from ..isa.opcodes import Format, Op
+from ..isa.registers import NAME_TO_REG, NUM_REGS, ZERO
+from ..utils import sign_extend, to_signed64, to_unsigned64
+from .memory import MainMemory
+from .queues import QueueSet
+
+
+class ArchState:
+    """Registers + memory + pc of one logical processor."""
+
+    __slots__ = ("regs", "memory", "pc", "halted")
+
+    def __init__(self, memory: MainMemory):
+        # Indices 0..31 integer registers (Python ints, canonical signed
+        # 64-bit), 32..63 FP registers (Python floats).
+        self.regs: list = [0] * 32 + [0.0] * 32
+        self.memory = memory
+        self.pc = 0
+        self.halted = False
+
+    def copy_registers_from(self, other: "ArchState") -> None:
+        self.regs[:] = other.regs
+
+
+def load_program(program: Program, memory: MainMemory | None = None) -> ArchState:
+    """Create an architectural state with the program's data image loaded."""
+    if memory is None:
+        memory = MainMemory(MEMORY_BYTES)
+    if program.data:
+        memory.write_bytes(DATA_BASE, bytes(program.data))
+    state = ArchState(memory)
+    state.regs[NAME_TO_REG["sp"]] = STACK_TOP - 64
+    state.pc = program.entry
+    return state
+
+
+@dataclass
+class DynInstr:
+    """One dynamic instruction instance (a trace record).
+
+    ``pc`` is the static instruction index; ``addr`` the effective byte
+    address for memory operations (-1 otherwise); ``next_pc`` the *actual*
+    next instruction index (the branch oracle for the timing front-end).
+    """
+
+    __slots__ = ("pc", "addr", "next_pc")
+
+    pc: int
+    addr: int
+    next_pc: int
+
+
+class _Halt(Exception):
+    """Internal signal: the program executed HALT."""
+
+
+class FunctionalSimulator:
+    """Sequential golden-model executor."""
+
+    def __init__(self, program: Program, state: ArchState | None = None):
+        self.program = program
+        self.state = state if state is not None else load_program(program)
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 50_000_000,
+            trace: list[DynInstr] | None = None) -> ArchState:
+        """Run to HALT (or *max_steps*); optionally record the trace."""
+        state = self.state
+        text = self.program.text
+        n = len(text)
+        steps = 0
+        try:
+            while not state.halted:
+                if steps >= max_steps:
+                    raise SimulationError(
+                        f"{self.program.name}: exceeded {max_steps} steps "
+                        f"(infinite loop?)"
+                    )
+                pc = state.pc
+                if not (0 <= pc < n):
+                    raise SimulationError(f"pc {pc} outside text segment")
+                instr = text[pc]
+                addr, next_pc = _execute(instr, state, None)
+                if trace is not None:
+                    trace.append(DynInstr(pc, addr, next_pc))
+                state.pc = next_pc
+                steps += 1
+        except _Halt:
+            state.halted = True
+            if trace is not None:
+                trace.append(DynInstr(state.pc, -1, state.pc))
+            steps += 1
+        self.instructions_executed += steps
+        return state
+
+
+class DecoupledFunctionalSimulator:
+    """Execute an annotated program on split CP/AP register files.
+
+    The interleaved (sequential) instruction order is preserved — this is a
+    *functional* model of the separator + two processors, not a timing
+    model.  Architectural memory is shared (only the AP touches it).
+    """
+
+    def __init__(self, program: Program, queue_capacity: int = 10**9):
+        self.program = program
+        memory = MainMemory(MEMORY_BYTES)
+        if program.data:
+            memory.write_bytes(DATA_BASE, bytes(program.data))
+        self.ap_state = ArchState(memory)
+        self.cp_state = ArchState(memory)  # shares memory, never accesses it
+        self.ap_state.regs[NAME_TO_REG["sp"]] = STACK_TOP - 64
+        self.cp_state.regs[NAME_TO_REG["sp"]] = STACK_TOP - 64
+        self.queues = QueueSet(queue_capacity, queue_capacity, queue_capacity)
+        self.instructions_executed = 0
+
+    def run(self, max_steps: int = 50_000_000,
+            trace: list[DynInstr] | None = None) -> ArchState:
+        """Run to HALT; returns the AP state (owner of memory).
+
+        With *trace*, records the interleaved dynamic stream — this is the
+        trace the decoupled timing models replay.
+        """
+        program = self.program
+        text = program.text
+        n = len(text)
+        ap, cp = self.ap_state, self.cp_state
+        queues = self.queues
+        pc = program.entry
+        steps = 0
+        try:
+            while True:
+                if steps >= max_steps:
+                    raise SimulationError(
+                        f"{program.name}: exceeded {max_steps} steps in "
+                        f"decoupled functional run"
+                    )
+                if not (0 <= pc < n):
+                    raise SimulationError(f"pc {pc} outside text segment")
+                instr = text[pc]
+                if instr.ann.stream is Stream.CS:
+                    state = cp
+                elif instr.ann.stream is Stream.AS:
+                    state = ap
+                else:
+                    raise SimulationError(
+                        f"instruction {pc} has no stream annotation; "
+                        f"run the slicer first"
+                    )
+                state.pc = pc
+                addr, next_pc = _execute(instr, state, queues)
+                if trace is not None:
+                    trace.append(DynInstr(pc, addr, next_pc))
+                pc = next_pc
+                steps += 1
+        except _Halt:
+            ap.halted = True
+            if trace is not None:
+                trace.append(DynInstr(pc, -1, pc))
+            steps += 1
+        self.instructions_executed += steps
+        return ap
+
+
+# ----------------------------------------------------------------------
+# The interpreter core, shared by both executors.
+#
+# Returns (effective_address_or_-1, next_pc).  Raises _Halt on HALT.
+# `queues` is None for the sequential golden model; communication opcodes
+# are illegal there (the original program has none).
+# ----------------------------------------------------------------------
+def _execute(instr: Instruction, state: ArchState,
+             queues: QueueSet | None) -> tuple[int, int]:
+    op = instr.op
+    regs = state.regs
+    pc = state.pc
+    next_pc = pc + 1
+    addr = -1
+
+    # "$LDQ" source operands (paper Figure 6): the value comes from the
+    # queue, not the register file.  The register is temporarily shadowed
+    # for the duration of this instruction and restored afterwards (unless
+    # the instruction overwrote it as its destination).
+    restore: tuple | None = None
+    ann = instr.ann
+    if queues is not None and (ann.ldq_rs1 or ann.ldq_rs2):
+        restore = ()
+        if ann.ldq_rs1:
+            restore += ((instr.rs1, regs[instr.rs1]),)
+            regs[instr.rs1] = queues.ldq.pop()
+        if ann.ldq_rs2:
+            restore += ((instr.rs2, regs[instr.rs2]),)
+            regs[instr.rs2] = queues.ldq.pop()
+    try:
+        addr, next_pc = _execute_op(instr, state, queues, op, regs, pc,
+                                    next_pc, addr)
+    finally:
+        if restore is not None:
+            dest = instr.dest_reg()
+            for reg, old in restore:
+                if reg != dest:
+                    regs[reg] = old
+    # "$SDQ" destination (paper Figure 3/6): the result is also deposited
+    # in the Store Data Queue for a downstream store.
+    if queues is not None and ann.to_sdq:
+        dest = instr.dest_reg()
+        if dest is None:
+            raise SimulationError(f"to_sdq on an instruction without a "
+                                  f"destination (pc {pc})")
+        queues.sdq.push(regs[dest])
+    return addr, next_pc
+
+
+def _execute_op(instr: Instruction, state: ArchState,
+                queues: QueueSet | None, op, regs, pc: int, next_pc: int,
+                addr: int) -> tuple[int, int]:
+
+    # Grouped by frequency: ALU, memory, control, FP, communication.
+    if op is Op.ADD:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] + regs[instr.rs2]))
+    elif op is Op.ADDI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] + instr.imm))
+    elif op is Op.SUB:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] - regs[instr.rs2]))
+    elif op is Op.MUL:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] * regs[instr.rs2]))
+    elif op is Op.MULI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] * instr.imm))
+    elif op is Op.DIV or op is Op.REM:
+        a, b = regs[instr.rs1], regs[instr.rs2]
+        if b == 0:
+            raise SimulationError(f"division by zero at pc {pc}")
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        r = a - q * b
+        _wr(regs, instr.rd, to_signed64(q if op is Op.DIV else r))
+    elif op is Op.AND:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] & regs[instr.rs2]))
+    elif op is Op.OR:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] | regs[instr.rs2]))
+    elif op is Op.XOR:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] ^ regs[instr.rs2]))
+    elif op is Op.NOR:
+        _wr(regs, instr.rd, to_signed64(~(regs[instr.rs1] | regs[instr.rs2])))
+    elif op is Op.SLL:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] << (regs[instr.rs2] & 63)))
+    elif op is Op.SRL:
+        _wr(regs, instr.rd,
+            to_signed64(to_unsigned64(regs[instr.rs1]) >> (regs[instr.rs2] & 63)))
+    elif op is Op.SRA:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] >> (regs[instr.rs2] & 63)))
+    elif op is Op.SLT:
+        _wr(regs, instr.rd, int(regs[instr.rs1] < regs[instr.rs2]))
+    elif op is Op.SLTU:
+        _wr(regs, instr.rd,
+            int(to_unsigned64(regs[instr.rs1]) < to_unsigned64(regs[instr.rs2])))
+    elif op is Op.ANDI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] & instr.imm))
+    elif op is Op.ORI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] | instr.imm))
+    elif op is Op.XORI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] ^ instr.imm))
+    elif op is Op.SLLI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] << (instr.imm & 63)))
+    elif op is Op.SRLI:
+        _wr(regs, instr.rd,
+            to_signed64(to_unsigned64(regs[instr.rs1]) >> (instr.imm & 63)))
+    elif op is Op.SRAI:
+        _wr(regs, instr.rd, to_signed64(regs[instr.rs1] >> (instr.imm & 63)))
+    elif op is Op.SLTI:
+        _wr(regs, instr.rd, int(regs[instr.rs1] < instr.imm))
+    elif op is Op.LI:
+        _wr(regs, instr.rd, to_signed64(instr.imm))
+    elif op is Op.MOV:
+        _wr(regs, instr.rd, regs[instr.rs1])
+
+    # --- memory --------------------------------------------------------
+    elif op is Op.LD:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        value = state.memory.load(addr, 8)
+        _wr(regs, instr.rd, value)
+        if instr.ann.to_ldq:
+            if queues is None:
+                raise SimulationError(f"$LDQ load outside decoupled run (pc {pc})")
+            queues.ldq.push(value)
+    elif op is Op.LW:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        value = sign_extend(state.memory.load(addr, 4), 32)
+        _wr(regs, instr.rd, value)
+        if instr.ann.to_ldq:
+            if queues is None:
+                raise SimulationError(f"$LDQ load outside decoupled run (pc {pc})")
+            queues.ldq.push(value)
+    elif op is Op.LBU:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        value = state.memory.load(addr, 1)
+        _wr(regs, instr.rd, value)
+        if instr.ann.to_ldq:
+            if queues is None:
+                raise SimulationError(f"$LDQ load outside decoupled run (pc {pc})")
+            queues.ldq.push(value)
+    elif op is Op.FLD:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        value = state.memory.load_f64(addr)
+        regs[instr.rd] = value
+        if instr.ann.to_ldq:
+            if queues is None:
+                raise SimulationError(f"$LDQ load outside decoupled run (pc {pc})")
+            queues.ldq.push(value)
+    elif op is Op.SD or op is Op.SW or op is Op.SB:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        if instr.ann.sdq_data:
+            if queues is None:
+                raise SimulationError(f"SDQ store outside decoupled run (pc {pc})")
+            value = queues.sdq.pop()
+        else:
+            value = regs[instr.rs2]
+        nbytes = instr.op.info.mem_bytes
+        state.memory.store(addr, to_unsigned64(int(value)), nbytes)
+    elif op is Op.FSD:
+        addr = to_unsigned64(regs[instr.rs1] + instr.imm)
+        if instr.ann.sdq_data:
+            if queues is None:
+                raise SimulationError(f"SDQ store outside decoupled run (pc {pc})")
+            value = queues.sdq.pop()
+        else:
+            value = regs[instr.rs2]
+        state.memory.store_f64(addr, float(value))
+
+    # --- control ---------------------------------------------------------
+    elif op is Op.BEQ:
+        if regs[instr.rs1] == regs[instr.rs2]:
+            next_pc = instr.target
+    elif op is Op.BNE:
+        if regs[instr.rs1] != regs[instr.rs2]:
+            next_pc = instr.target
+    elif op is Op.BLT:
+        if regs[instr.rs1] < regs[instr.rs2]:
+            next_pc = instr.target
+    elif op is Op.BGE:
+        if regs[instr.rs1] >= regs[instr.rs2]:
+            next_pc = instr.target
+    elif op is Op.BEQZ:
+        if regs[instr.rs1] == 0:
+            next_pc = instr.target
+    elif op is Op.BNEZ:
+        if regs[instr.rs1] != 0:
+            next_pc = instr.target
+    elif op is Op.J:
+        next_pc = instr.target
+    elif op is Op.JAL:
+        _wr(regs, NAME_TO_REG["ra"], pc + 1)
+        next_pc = instr.target
+    elif op is Op.JR:
+        next_pc = regs[instr.rs1]
+    elif op is Op.HALT:
+        raise _Halt()
+    elif op is Op.NOP:
+        pass
+
+    # --- floating point --------------------------------------------------
+    elif op is Op.FADD:
+        regs[instr.rd] = regs[instr.rs1] + regs[instr.rs2]
+    elif op is Op.FSUB:
+        regs[instr.rd] = regs[instr.rs1] - regs[instr.rs2]
+    elif op is Op.FMUL:
+        regs[instr.rd] = regs[instr.rs1] * regs[instr.rs2]
+    elif op is Op.FDIV:
+        b = regs[instr.rs2]
+        if b == 0.0:
+            raise SimulationError(f"FP division by zero at pc {pc}")
+        regs[instr.rd] = regs[instr.rs1] / b
+    elif op is Op.FNEG:
+        regs[instr.rd] = -regs[instr.rs1]
+    elif op is Op.FABS:
+        regs[instr.rd] = abs(regs[instr.rs1])
+    elif op is Op.FSQRT:
+        v = regs[instr.rs1]
+        if v < 0.0:
+            raise SimulationError(f"FSQRT of negative value at pc {pc}")
+        regs[instr.rd] = v ** 0.5
+    elif op is Op.FMOV:
+        regs[instr.rd] = regs[instr.rs1]
+    elif op is Op.FMIN:
+        regs[instr.rd] = min(regs[instr.rs1], regs[instr.rs2])
+    elif op is Op.FMAX:
+        regs[instr.rd] = max(regs[instr.rs1], regs[instr.rs2])
+    elif op is Op.FEQ:
+        _wr(regs, instr.rd, int(regs[instr.rs1] == regs[instr.rs2]))
+    elif op is Op.FLT:
+        _wr(regs, instr.rd, int(regs[instr.rs1] < regs[instr.rs2]))
+    elif op is Op.FLE:
+        _wr(regs, instr.rd, int(regs[instr.rs1] <= regs[instr.rs2]))
+    elif op is Op.ITOF:
+        regs[instr.rd] = float(regs[instr.rs1])
+    elif op is Op.FTOI:
+        _wr(regs, instr.rd, to_signed64(int(regs[instr.rs1])))
+
+    # --- HiDISC communication ---------------------------------------------
+    elif op is Op.PUSH_LDQ or op is Op.PUSH_LDQF:
+        if queues is None:
+            raise SimulationError(f"queue op outside decoupled run (pc {pc})")
+        queues.ldq.push(regs[instr.rs1])
+    elif op is Op.POP_LDQ:
+        if queues is None:
+            raise SimulationError(f"queue op outside decoupled run (pc {pc})")
+        _wr(regs, instr.rd, int(queues.ldq.pop()))
+    elif op is Op.POP_LDQF:
+        if queues is None:
+            raise SimulationError(f"queue op outside decoupled run (pc {pc})")
+        regs[instr.rd] = float(queues.ldq.pop())
+    elif op is Op.PUSH_SDQ or op is Op.PUSH_SDQF:
+        if queues is None:
+            raise SimulationError(f"queue op outside decoupled run (pc {pc})")
+        queues.sdq.push(regs[instr.rs1])
+    else:  # pragma: no cover - exhaustive over Op
+        raise SimulationError(f"unimplemented opcode {op}")
+
+    return addr, next_pc
+
+
+def _wr(regs: list, rd: int, value: int) -> None:
+    """Write an integer register, keeping ``r0`` hardwired to zero."""
+    if rd != ZERO:
+        regs[rd] = value

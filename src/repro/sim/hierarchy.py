@@ -1,0 +1,129 @@
+"""Two-level memory hierarchy with additive latencies and miss merging.
+
+Latency model (Table 1 defaults)::
+
+    L1 hit               : l1.latency                  (1 cycle)
+    L1 miss, L2 hit      : l1.latency + l2.latency     (13 cycles)
+    L1 miss, L2 miss     : l1.latency + l2.latency + memory_latency
+
+Outstanding misses to the same L1 block merge MSHR-style: a second access
+while the fill is in flight completes when the fill does, instead of paying
+the full latency again.  This matters for spatially-local streams and for
+CMP prefetches racing demand loads (a *late* prefetch still shortens the
+demand miss).
+
+The hierarchy is shared by every processor of a machine (the AP and CMP of
+HiDISC access the same L1/L2, which is how the CMP's prefetches help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheConfig, MachineConfig
+from .cache import Cache, CacheStats
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of one simulation run."""
+
+    demand_loads: int = 0
+    demand_stores: int = 0
+    prefetches: int = 0
+    #: Demand accesses whose miss latency was (partly) hidden by merging
+    #: with an outstanding fill.
+    merged_misses: int = 0
+    #: Prefetches that were still in flight when the demand access arrived.
+    late_prefetch_overlaps: int = 0
+
+
+class MemoryHierarchy:
+    """L1 + unified L2 + main-memory latency, with MSHR-style merging."""
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig, memory_latency: int):
+        self.l1 = Cache(l1)
+        self.l2 = Cache(l2)
+        self.memory_latency = memory_latency
+        self.stats = HierarchyStats()
+        #: L1-block address -> absolute cycle when the in-flight fill lands.
+        self._inflight: dict[int, int] = {}
+        #: blocks whose in-flight fill was initiated by a prefetch
+        self._inflight_prefetch: set[int] = set()
+
+    @classmethod
+    def from_config(cls, config: MachineConfig) -> "MemoryHierarchy":
+        return cls(config.l1, config.l2, config.memory_latency)
+
+    # ------------------------------------------------------------------
+    def _expire_inflight(self, now: int) -> None:
+        if not self._inflight:
+            return
+        done = [block for block, ready in self._inflight.items() if ready <= now]
+        for block in done:
+            del self._inflight[block]
+            self._inflight_prefetch.discard(block)
+
+    def _miss_latency(self, address: int, is_write: bool, is_prefetch: bool) -> int:
+        """Charge the L2 (and memory) for an L1 miss; updates L2 state."""
+        latency = self.l2.config.latency
+        l2_result = self.l2.access(address, is_write=False, is_prefetch=is_prefetch)
+        if not l2_result.hit:
+            latency += self.memory_latency
+        return latency
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool, now: int,
+               is_prefetch: bool = False) -> int:
+        """Simulate one access at absolute cycle *now*; returns its latency.
+
+        Architectural data motion is handled by the functional layer; this
+        method only updates cache/MSHR state and computes timing.
+        """
+        self._expire_inflight(now)
+        stats = self.stats
+        if is_prefetch:
+            stats.prefetches += 1
+        elif is_write:
+            stats.demand_stores += 1
+        else:
+            stats.demand_loads += 1
+
+        block = self.l1.block_address(address)
+        inflight_ready = self._inflight.get(block)
+        result = self.l1.access(address, is_write=is_write, is_prefetch=is_prefetch)
+
+        if inflight_ready is not None:
+            # The line's fill is still in flight (its tag may already be
+            # installed — the first access allocated it).  Merge: this
+            # access completes when the outstanding fill lands.
+            if not is_prefetch:
+                stats.merged_misses += 1
+                if block in self._inflight_prefetch:
+                    stats.late_prefetch_overlaps += 1
+            return max(self.l1.config.latency, inflight_ready - now)
+
+        if result.hit:
+            return self.l1.config.latency
+
+        latency = self.l1.config.latency + self._miss_latency(
+            address, is_write, is_prefetch
+        )
+        self._inflight[block] = now + latency
+        if is_prefetch:
+            self._inflight_prefetch.add(block)
+        return latency
+
+    def prefetch(self, address: int, now: int) -> int:
+        """CMP prefetch: fills L1/L2, returns completion latency."""
+        return self.access(address, is_write=False, now=now, is_prefetch=True)
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = HierarchyStats()
+        self.l1.stats = CacheStats()
+        self.l2.stats = CacheStats()
+
+    def demand_miss_rate(self) -> float:
+        """L1 demand miss rate (the quantity in the paper's Figure 9)."""
+        return self.l1.stats.demand_miss_rate

@@ -1,0 +1,83 @@
+"""Run results: everything a simulation reports.
+
+:class:`RunResult` is the single artefact the experiment harness consumes;
+it carries enough detail to regenerate every figure of the paper (cycles
+and IPC for Figure 8/10, demand miss rates for Figure 9, queue/LoD counters
+for the Neighborhood analysis in §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .branch import BranchStats
+from .cache import CacheStats
+from .hierarchy import HierarchyStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one timing simulation."""
+
+    machine: str                      # superscalar | cp_ap | cp_cmp | hidisc
+    benchmark: str
+    #: cycles inside the measurement window (equals ``total_cycles`` when
+    #: no warmup/fast-forward region was configured).
+    cycles: int
+    #: dynamic instructions of the *original* program inside the
+    #: measurement window (the unit of work); inserted communication
+    #: instructions are excluded so IPC is comparable across models.
+    work_instructions: int
+    #: cycles including the warmup region.
+    total_cycles: int = 0
+    #: committed instructions per core (includes communication instructions).
+    committed: dict[str, int] = field(default_factory=dict)
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    memory: HierarchyStats = field(default_factory=HierarchyStats)
+    branch: BranchStats = field(default_factory=BranchStats)
+    core_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: CMAS bookkeeping.
+    cmas_threads_forked: int = 0
+    cmas_threads_dropped: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Work instructions per cycle (the paper's Figure 10 metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.work_instructions / self.cycles
+
+    @property
+    def l1_demand_miss_rate(self) -> float:
+        return self.l1.demand_miss_rate
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Execution-time speedup of *self* relative to *baseline*."""
+        if self.cycles == 0:
+            raise ValueError("cannot compute speedup of a zero-cycle run")
+        return baseline.cycles / self.cycles
+
+    def miss_rate_ratio(self, baseline: "RunResult") -> float:
+        """L1 demand miss-rate relative to *baseline* (Figure 9's y-axis)."""
+        base = baseline.l1_demand_miss_rate
+        if base == 0.0:
+            return 1.0
+        return self.l1_demand_miss_rate / base
+
+    def loss_of_decoupling_cycles(self) -> int:
+        """Cycles any core's retirement was blocked on cross-stream sync."""
+        total = 0
+        for stats in self.core_stats.values():
+            total += stats.get("ldq_empty_stalls", 0)
+            total += stats.get("sdq_empty_stalls", 0)
+            total += stats.get("queue_full_stalls", 0)
+        return total
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.benchmark:>14s} on {self.machine:<11s}: "
+            f"{self.cycles:>9d} cycles, IPC {self.ipc:5.3f}, "
+            f"L1 demand miss rate {self.l1_demand_miss_rate:6.4f}"
+        )

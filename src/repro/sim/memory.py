@@ -1,0 +1,135 @@
+"""Byte-addressable sparse main memory.
+
+Memory is organised as 64 KiB pages materialised on first touch, so a
+32 MiB-plus address space costs nothing until used.  All multi-byte
+accesses are little-endian and must be naturally aligned (the ISA has no
+unaligned accesses; the assembler keeps data aligned).
+
+The integer value convention follows :mod:`repro.utils`: 64-bit reads
+return canonical signed values, narrower loads zero- or sign-extend as the
+opcode requires (the functional simulator picks; :meth:`load` here returns
+unsigned raw bits for widths < 8).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import MemoryFault
+from ..utils import to_signed64
+
+PAGE_BITS = 16
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MainMemory:
+    """Sparse paged memory with byte/word/double access helpers."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._pages: dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    def _page_for(self, address: int) -> bytearray:
+        index = address >> PAGE_BITS
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or address + nbytes > self.size_bytes:
+            raise MemoryFault(address)
+        if address % nbytes:
+            raise MemoryFault(address, f"misaligned {nbytes}-byte access")
+
+    # ------------------------------------------------------------------
+    # Raw bulk access (loader, workload generators, result extraction).
+    # ------------------------------------------------------------------
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        """Bulk write, page by page (no alignment requirement)."""
+        if address < 0 or address + len(payload) > self.size_bytes:
+            raise MemoryFault(address)
+        offset = 0
+        while offset < len(payload):
+            page = self._page_for(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, len(payload) - offset)
+            page[start : start + chunk] = payload[offset : offset + chunk]
+            offset += chunk
+
+    def read_bytes(self, address: int, nbytes: int) -> bytes:
+        """Bulk read, page by page (no alignment requirement)."""
+        if address < 0 or address + nbytes > self.size_bytes:
+            raise MemoryFault(address)
+        out = bytearray()
+        offset = 0
+        while offset < nbytes:
+            page = self._page_for(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, nbytes - offset)
+            out += page[start : start + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Aligned scalar access (the functional simulator's hot path).
+    # ------------------------------------------------------------------
+    def load(self, address: int, nbytes: int) -> int:
+        """Aligned load of 1/4/8 bytes.
+
+        Returns the raw unsigned value for 1/4 bytes and the canonical
+        signed value for 8 bytes.
+        """
+        self._check(address, nbytes)
+        page = self._page_for(address)
+        start = address & PAGE_MASK
+        raw = int.from_bytes(page[start : start + nbytes], "little")
+        return to_signed64(raw) if nbytes == 8 else raw
+
+    def store(self, address: int, value: int, nbytes: int) -> None:
+        """Aligned store of the low *nbytes* bytes of *value*."""
+        self._check(address, nbytes)
+        page = self._page_for(address)
+        start = address & PAGE_MASK
+        page[start : start + nbytes] = (value & ((1 << (nbytes * 8)) - 1)).to_bytes(
+            nbytes, "little"
+        )
+
+    def load_f64(self, address: int) -> float:
+        """Aligned load of an IEEE binary64 value."""
+        self._check(address, 8)
+        page = self._page_for(address)
+        start = address & PAGE_MASK
+        return struct.unpack_from("<d", page, start)[0]
+
+    def store_f64(self, address: int, value: float) -> None:
+        """Aligned store of an IEEE binary64 value."""
+        self._check(address, 8)
+        page = self._page_for(address)
+        start = address & PAGE_MASK
+        struct.pack_into("<d", page, start, value)
+
+    # ------------------------------------------------------------------
+    def touched_pages(self) -> int:
+        """Number of materialised pages (diagnostics)."""
+        return len(self._pages)
+
+    def snapshot(self) -> dict[int, bytes]:
+        """Immutable copy of every touched page (for equivalence checks)."""
+        return {index: bytes(page) for index, page in self._pages.items()}
+
+    def equal_contents(self, other: "MainMemory") -> bool:
+        """Compare logical contents with *other* (zero pages are equal)."""
+        zero = bytes(PAGE_SIZE)
+        indices = set(self._pages) | set(other._pages)
+        for index in indices:
+            a = bytes(self._pages.get(index, b"")) or zero
+            b = bytes(other._pages.get(index, b"")) or zero
+            if a != b:
+                return False
+        return True

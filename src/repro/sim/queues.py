@@ -1,0 +1,110 @@
+"""Architectural FIFO queues (LDQ, SDQ, SAQ, instruction queues).
+
+The queues are the heart of a decoupled machine: they carry data between
+the streams and *are* the slip-distance mechanism.  Two usage modes:
+
+* **Functional mode** (:meth:`ArchQueue.push` / :meth:`ArchQueue.pop`):
+  capacity is not enforced; popping an empty queue raises
+  :class:`~repro.errors.QueueProtocolError` because in a correctly
+  separated program, program-order execution can never pop early.
+
+* **Timing mode**: the timing cores call :meth:`can_push` / :meth:`can_pop`
+  and account stalls themselves; occupancy statistics accumulate here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import QueueProtocolError
+
+
+@dataclass
+class QueueStats:
+    """Occupancy and stall statistics of one queue."""
+
+    pushes: int = 0
+    pops: int = 0
+    max_occupancy: int = 0
+    full_stall_cycles: int = 0
+    empty_stall_cycles: int = 0
+
+
+class ArchQueue:
+    """A bounded FIFO with statistics."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def can_push(self) -> bool:
+        return not self.full
+
+    def can_pop(self) -> bool:
+        return bool(self._items)
+
+    def push(self, item, enforce_capacity: bool = False):
+        """Append *item*; optionally raise if the queue is full."""
+        if enforce_capacity and self.full:
+            raise QueueProtocolError(f"push on full queue {self.name}")
+        self._items.append(item)
+        self.stats.pushes += 1
+        if len(self._items) > self.stats.max_occupancy:
+            self.stats.max_occupancy = len(self._items)
+        return item
+
+    def pop(self):
+        """Remove and return the head; raises if empty."""
+        if not self._items:
+            raise QueueProtocolError(f"pop on empty queue {self.name}")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def peek(self):
+        """Head element without removing it; raises if empty."""
+        if not self._items:
+            raise QueueProtocolError(f"peek on empty queue {self.name}")
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def note_full_stall(self, cycles: int = 1) -> None:
+        self.stats.full_stall_cycles += cycles
+
+    def note_empty_stall(self, cycles: int = 1) -> None:
+        self.stats.empty_stall_cycles += cycles
+
+
+class QueueSet:
+    """The LDQ/SDQ/SAQ triple of one decoupled machine."""
+
+    def __init__(self, ldq_entries: int, sdq_entries: int, saq_entries: int):
+        self.ldq = ArchQueue("LDQ", ldq_entries)
+        self.sdq = ArchQueue("SDQ", sdq_entries)
+        self.saq = ArchQueue("SAQ", saq_entries)
+
+    def clear(self) -> None:
+        self.ldq.clear()
+        self.sdq.clear()
+        self.saq.clear()
+
+    def all_empty(self) -> bool:
+        return self.ldq.empty and self.sdq.empty and self.saq.empty

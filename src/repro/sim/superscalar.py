@@ -1,0 +1,34 @@
+"""Baseline superscalar machine (the paper's comparison point).
+
+This is a thin convenience wrapper: the baseline is the unified
+:class:`~repro.sim.decoupled.Machine` in ``superscalar`` mode — one
+8-issue, 64-entry-window out-of-order core fed directly from the trace,
+with the Table-1 memory hierarchy and bimodal predictor.
+"""
+
+from __future__ import annotations
+
+from ..asm.program import Program
+from ..config import MachineConfig
+from .decoupled import Machine
+from .functional import DynInstr
+from .machine import RunResult
+
+
+def run_superscalar(
+    config: MachineConfig,
+    program: Program,
+    trace: list[DynInstr],
+    benchmark: str = "",
+    work_instructions: int | None = None,
+) -> RunResult:
+    """Replay *trace* through the baseline superscalar; returns the result."""
+    machine = Machine(
+        config=config,
+        program=program,
+        trace=trace,
+        mode="superscalar",
+        work_instructions=work_instructions,
+        benchmark=benchmark,
+    )
+    return machine.run()

@@ -1,0 +1,225 @@
+"""Dynamic traces and the precomputed plans that drive timing simulation.
+
+The timing simulators are *trace-driven* (DESIGN.md substitution #2): the
+program is first executed functionally, producing a list of
+:class:`~repro.sim.functional.DynInstr` records; the pipeline models then
+replay that trace.  This module computes, once per (program, trace) pair,
+everything the machines need:
+
+* :func:`generate_trace` — run the golden model and capture the trace.
+* :class:`QueuePlan` — FIFO matching for the LDQ and SDQ.  Because both
+  streams are carved out of one sequential instruction stream, the k-th pop
+  of a queue always corresponds to the k-th push; the plan resolves those
+  sequence numbers to trace positions so the timing cores can treat queue
+  communication as ordinary dependence edges (including *capacity* edges:
+  push *s* may not issue before pop *s - capacity* has freed a slot).
+* :class:`CmasPlan` — trigger points and the dynamic CMAS slice each
+  trigger forks onto the CMP.  A trigger fires when the separator reaches
+  the trace position ``trigger_distance`` instructions ahead of a dynamic
+  instance of a *probable miss* instruction (paper §4.2: a 512-instruction
+  window).  Overlapping windows are de-duplicated so each dynamic CMAS
+  instance is pre-executed at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..errors import SimulationError
+from ..isa.instruction import Stream
+from .functional import ArchState, DynInstr, FunctionalSimulator
+
+#: Routing codes used in :class:`QueuePlan.route`.
+ROUTE_CP = 0
+ROUTE_AP = 1
+
+
+def generate_trace(
+    program: Program, max_steps: int = 50_000_000
+) -> tuple[list[DynInstr], ArchState]:
+    """Execute *program* functionally; return (trace, final state)."""
+    trace: list[DynInstr] = []
+    sim = FunctionalSimulator(program)
+    state = sim.run(max_steps=max_steps, trace=trace)
+    return trace, state
+
+
+def generate_decoupled_trace(
+    program: Program, max_steps: int = 50_000_000
+) -> tuple[list[DynInstr], ArchState]:
+    """Execute an *annotated* (communication-bearing) program through the
+    split-register-file executor; return (trace, final AP state)."""
+    from .functional import DecoupledFunctionalSimulator
+
+    trace: list[DynInstr] = []
+    sim = DecoupledFunctionalSimulator(program)
+    state = sim.run(max_steps=max_steps, trace=trace)
+    return trace, state
+
+
+@dataclass
+class QueuePlan:
+    """Stream routing and queue matching for one annotated trace."""
+
+    #: route[i] in {ROUTE_CP, ROUTE_AP} for each trace position.
+    route: list[int]
+    #: trace position of the k-th LDQ push / pop.
+    ldq_push_pos: list[int] = field(default_factory=list)
+    ldq_pop_pos: list[int] = field(default_factory=list)
+    #: pop position -> matching push position(s).  Pop instructions and
+    #: single-"$LDQ"-operand consumers have one entry; an instruction with
+    #: both operands flagged has two (rs1's match first).
+    ldq_match: dict[int, list[int]] = field(default_factory=dict)
+    #: push position -> its sequence number (for capacity edges).
+    ldq_push_seq: dict[int, int] = field(default_factory=dict)
+    #: same for the SDQ; "pops" are the SDQ-consuming stores.
+    sdq_push_pos: list[int] = field(default_factory=list)
+    sdq_pop_pos: list[int] = field(default_factory=list)
+    sdq_match: dict[int, int] = field(default_factory=dict)
+    sdq_push_seq: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def balanced(self) -> bool:
+        """True iff every push has a pop and vice versa."""
+        return (len(self.ldq_push_pos) == len(self.ldq_pop_pos)
+                and len(self.sdq_push_pos) == len(self.sdq_pop_pos))
+
+
+def build_queue_plan(program: Program, trace: list[DynInstr]) -> QueuePlan:
+    """Compute stream routing and FIFO matching for an annotated program."""
+    text = program.text
+    route: list[int] = [0] * len(trace)
+    plan = QueuePlan(route=route)
+    for i, dyn in enumerate(trace):
+        instr = text[dyn.pc]
+        ann = instr.ann
+        if ann.stream is Stream.AS:
+            route[i] = ROUTE_AP
+        elif ann.stream is Stream.CS:
+            route[i] = ROUTE_CP
+        else:
+            raise SimulationError(
+                f"trace position {i} (pc {dyn.pc}) lacks a stream annotation"
+            )
+        info = instr.op.info
+        if info.writes_ldq or (instr.is_load and ann.to_ldq):
+            plan.ldq_push_seq[i] = len(plan.ldq_push_pos)
+            plan.ldq_push_pos.append(i)
+        elif info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+            pops = 1 if info.reads_ldq else int(ann.ldq_rs1) + int(ann.ldq_rs2)
+            matches = []
+            for _ in range(pops):
+                seq = len(plan.ldq_pop_pos)
+                plan.ldq_pop_pos.append(i)
+                if seq >= len(plan.ldq_push_pos):
+                    raise SimulationError(
+                        f"LDQ pop #{seq} at position {i} precedes its push"
+                    )
+                matches.append(plan.ldq_push_pos[seq])
+            plan.ldq_match[i] = matches
+        if info.writes_sdq or ann.to_sdq:
+            plan.sdq_push_seq[i] = len(plan.sdq_push_pos)
+            plan.sdq_push_pos.append(i)
+        elif instr.is_store and ann.sdq_data:
+            seq = len(plan.sdq_pop_pos)
+            plan.sdq_pop_pos.append(i)
+            if seq >= len(plan.sdq_push_pos):
+                raise SimulationError(
+                    f"SDQ-consuming store #{seq} at position {i} precedes "
+                    f"its push"
+                )
+            plan.sdq_match[i] = plan.sdq_push_pos[seq]
+    return plan
+
+
+@dataclass
+class CmasThread:
+    """One forked CMAS context: pre-execute *positions* when the separator
+    reaches *trigger_pos*."""
+
+    trigger_pos: int
+    #: trace positions (ascending) replayed on the CMP.
+    positions: list[int]
+    #: the probable-miss instance this thread is trying to cover.
+    miss_pos: int
+
+
+@dataclass
+class CmasPlan:
+    """All CMAS threads of one trace, keyed by trigger position."""
+
+    threads: list[CmasThread] = field(default_factory=list)
+    #: trigger trace position -> list of thread indices firing there.
+    by_trigger: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def total_prefetch_instructions(self) -> int:
+        return sum(len(t.positions) for t in self.threads)
+
+
+def build_cmas_plan(
+    program: Program,
+    trace: list[DynInstr],
+    trigger_distance: int,
+    max_slice: int = 2048,
+    distance_for: dict[int, int] | None = None,
+) -> CmasPlan:
+    """Compute trigger points and de-duplicated dynamic CMAS slices.
+
+    For every dynamic instance *q* of a probable-miss instruction, the
+    trigger fires at trace position ``max(0, q - trigger_distance)`` and the
+    forked context replays the CMAS-annotated instances in ``(claimed, q]``
+    where *claimed* de-duplicates overlapping windows.
+
+    *distance_for* optionally overrides the trigger distance per static
+    probable-miss pc — the hook for the paper's §6 "runtime control of the
+    prefetching distance" (see :mod:`repro.slicer.adaptive`).
+    """
+    text = program.text
+    plan = CmasPlan()
+    # Positions of dynamic instances of CMAS instructions, ascending.
+    cmas_positions = [
+        i for i, dyn in enumerate(trace) if text[dyn.pc].ann.cmas
+    ]
+    miss_positions = [
+        i for i, dyn in enumerate(trace) if text[dyn.pc].ann.probable_miss
+    ]
+    if not miss_positions:
+        return plan
+
+    import bisect
+
+    next_unclaimed = 0  # index into cmas_positions
+    for q in miss_positions:
+        distance = trigger_distance
+        if distance_for is not None:
+            distance = distance_for.get(trace[q].pc, trigger_distance)
+        start = max(0, q - distance)
+        lo = bisect.bisect_left(cmas_positions, start)
+        lo = max(lo, next_unclaimed)
+        hi = bisect.bisect_right(cmas_positions, q)
+        if lo >= hi:
+            continue
+        positions = cmas_positions[lo:hi][:max_slice]
+        next_unclaimed = lo + len(positions)
+        thread = CmasThread(trigger_pos=start, positions=positions, miss_pos=q)
+        index = len(plan.threads)
+        plan.threads.append(thread)
+        plan.by_trigger.setdefault(start, []).append(index)
+    return plan
+
+
+@dataclass
+class TraceBundle:
+    """A program variant plus everything derived from it."""
+
+    program: Program
+    trace: list[DynInstr]
+    final_state: ArchState
+    queue_plan: QueuePlan | None = None
+    cmas_plan: CmasPlan | None = None
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return len(self.trace)

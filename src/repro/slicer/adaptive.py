@@ -1,0 +1,59 @@
+"""Adaptive prefetch-distance selection (the paper's §6 future work).
+
+The paper fixes the CMAS trigger 512 dynamic instructions ahead of the
+probable miss and notes: *"the runtime control of the prefetching distance
+is another important task... under the various program behaviors and memory
+latencies, the prefetching distance should be selected dynamically."*
+
+This module implements the profile-driven version of that idea: each
+probable-miss instruction gets its own trigger distance sized to the
+latency its profile predicts it will suffer,
+
+    distance(pc) = clamp(headroom * expected_latency(pc) * expected_ipc)
+
+where ``expected_latency`` folds the instruction's L1 and L2 miss rates
+into the configured hierarchy latencies.  A load that usually hits L2 gets
+a short lead (launching earlier only wastes a CMAS context); a load that
+goes to memory gets a lead long enough for the fill to land before the AP
+arrives.  Pass the result to
+:func:`repro.sim.trace.build_cmas_plan` via ``distance_for``.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..sim.profiler import CacheProfile
+
+#: Instructions the front end advances per cycle while the slice runs —
+#: conservative (a stalled AP consumes slower, which only helps).
+DEFAULT_EXPECTED_IPC = 2.0
+
+#: Safety factor: launch earlier than the bare latency by this much.
+DEFAULT_HEADROOM = 1.5
+
+#: Distance clamp — shorter than one fetch group is meaningless; longer
+#: than this exceeds any realistic runahead the CMP can sustain.
+MIN_DISTANCE = 32
+MAX_DISTANCE = 4096
+
+
+def adaptive_trigger_distances(
+    profile: CacheProfile,
+    config: MachineConfig,
+    probable_miss_pcs: set[int],
+    expected_ipc: float = DEFAULT_EXPECTED_IPC,
+    headroom: float = DEFAULT_HEADROOM,
+) -> dict[int, int]:
+    """Per-pc trigger distances sized to each load's profiled latency."""
+    distances: dict[int, int] = {}
+    for pc in probable_miss_pcs:
+        pc_profile = profile.per_pc.get(pc)
+        if pc_profile is None or pc_profile.misses == 0:
+            distances[pc] = config.cmas.trigger_distance
+            continue
+        latency = pc_profile.expected_latency(
+            config.l1.latency, config.l2.latency, config.memory_latency
+        )
+        distance = int(headroom * latency * expected_ipc)
+        distances[pc] = max(MIN_DISTANCE, min(MAX_DISTANCE, distance))
+    return distances

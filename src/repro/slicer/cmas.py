@@ -1,0 +1,73 @@
+"""CMAS extraction (paper §4.2, "Defining CMAS").
+
+The Cache Miss Access Slice is the subset of the Access Stream the CMP
+pre-executes: the *probable cache miss* instructions (chosen from a cache
+access profile) plus their backward slices.  Stores and control
+instructions are excluded — the CMP only needs to reproduce the address
+computation and the loads themselves, and it "only updates the cache
+status" (paper §4.2); control flow is supplied by the trigger window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..errors import SlicingError
+from ..isa.instruction import Stream
+from .separation import SeparationResult
+
+
+@dataclass
+class CmasSelection:
+    """Static CMAS marks, expressed as pcs of the analysed program."""
+
+    probable_miss_pcs: set[int] = field(default_factory=set)
+    cmas_pcs: set[int] = field(default_factory=set)
+
+    @property
+    def slice_size(self) -> int:
+        return len(self.cmas_pcs)
+
+    def apply(self, program: Program,
+              pc_translation: list[int] | None = None) -> Program:
+        """Write the marks into *program*'s annotation fields.
+
+        *pc_translation* maps analysed-program pcs to *program* pcs (use a
+        :class:`~repro.slicer.communication.DecoupledProgram.instr_map`
+        when annotating the decoupled program); identity when ``None``.
+        """
+        def tr(pc: int) -> int:
+            return pc_translation[pc] if pc_translation is not None else pc
+
+        for pc in self.cmas_pcs:
+            program.text[tr(pc)].ann.cmas = True
+        for pc in self.probable_miss_pcs:
+            program.text[tr(pc)].ann.probable_miss = True
+        return program
+
+
+def extract_cmas(
+    sep: SeparationResult,
+    probable_miss_pcs: set[int],
+) -> CmasSelection:
+    """Backward-slice the probable-miss loads within the Access Stream."""
+    text = sep.program.text
+    for pc in probable_miss_pcs:
+        if not text[pc].is_load:
+            raise SlicingError(
+                f"probable-miss pc {pc} is not a load ({text[pc].op.mnemonic})"
+            )
+        if sep.stream_of[pc] is not Stream.AS:
+            raise SlicingError(f"probable-miss load at pc {pc} is not AS")
+
+    seeds = {pc: None for pc in probable_miss_pcs}
+    closure = sep.pfg.backward_slice(seeds)
+    cmas_pcs = {
+        pc for pc in closure
+        if not text[pc].is_store and not text[pc].is_control
+    }
+    return CmasSelection(
+        probable_miss_pcs=set(probable_miss_pcs),
+        cmas_pcs=cmas_pcs,
+    )

@@ -1,0 +1,119 @@
+"""Reaching-definitions dataflow and def-use chains.
+
+The HiDISC compiler's stream separation is a backward slice over register
+def-use chains (paper §4.2, "based on the register dependencies").  This
+module computes, for every instruction operand, the set of definitions that
+may reach it, using the classic iterative worklist algorithm over the CFG.
+
+Definitions are identified by the pc of the defining instruction; the
+pseudo-definition ``ENTRY_DEF`` (= -1) stands for the register's value at
+program entry (``sp`` initialisation, zeroed registers).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from .cfg import ControlFlowGraph
+
+#: Pseudo-pc of "defined at program entry".
+ENTRY_DEF = -1
+
+
+@dataclass
+class DefUse:
+    """Reaching definitions and def-use chains of one program."""
+
+    #: (pc, reg) -> set of defining pcs (may include ENTRY_DEF).
+    reaching: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+    #: def pc -> set of (use pc, reg) pairs it may reach.
+    uses_of_def: dict[int, set[tuple[int, int]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def defs_for_use(self, pc: int, reg: int) -> set[int]:
+        """Definitions reaching the use of *reg* at *pc*."""
+        return self.reaching.get((pc, reg), set())
+
+
+def compute_def_use(program: Program, cfg: ControlFlowGraph | None = None) -> DefUse:
+    """Compute reaching definitions / def-use chains for *program*."""
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    text = program.text
+    n = len(text)
+    result = DefUse()
+    if n == 0:
+        return result
+
+    # def site lists per register, plus per-block gen/kill in one pass.
+    # IN/OUT sets are dicts reg -> frozenset of def pcs, block-level.
+    num_blocks = len(cfg.blocks)
+    block_gen: list[dict[int, int]] = [dict() for _ in range(num_blocks)]
+
+    for block in cfg.blocks:
+        gen = block_gen[block.index]
+        for pc in range(block.start, block.end):
+            dest = text[pc].dest_reg()
+            if dest is not None:
+                gen[dest] = pc  # last definition in the block wins
+
+    # IN[b]: reg -> set of def pcs.  The entry block seeds every register
+    # with ENTRY_DEF so entry values propagate like ordinary definitions.
+    in_sets: list[dict[int, frozenset[int]]] = [dict() for _ in range(num_blocks)]
+    out_sets: list[dict[int, frozenset[int]]] = [dict() for _ in range(num_blocks)]
+    from ..isa.registers import NUM_REGS
+
+    entry_seed = frozenset((ENTRY_DEF,))
+    in_sets[cfg.entry_block().index] = {reg: entry_seed for reg in range(NUM_REGS)}
+
+    def compute_out(b: int) -> dict[int, frozenset[int]]:
+        out: dict[int, frozenset[int]] = dict(in_sets[b])
+        for reg, pc in block_gen[b].items():
+            out[reg] = frozenset((pc,))
+        return out
+
+    worklist = list(range(num_blocks))
+    while worklist:
+        b = worklist.pop()
+        new_out = compute_out(b)
+        if new_out != out_sets[b]:
+            out_sets[b] = new_out
+            for s in cfg.blocks[b].successors:
+                merged = dict(in_sets[s])
+                changed = False
+                for reg, defs in new_out.items():
+                    old = merged.get(reg)
+                    if old is None:
+                        merged[reg] = defs
+                        changed = True
+                    else:
+                        union = old | defs
+                        if union != old:
+                            merged[reg] = union
+                            changed = True
+                if changed:
+                    in_sets[s] = merged
+                    worklist.append(s)
+
+    # Second pass: walk each block, tracking the current def per register,
+    # and record reaching sets for every use.
+    for block in cfg.blocks:
+        current: dict[int, set[int]] = {
+            reg: set(defs) for reg, defs in in_sets[block.index].items()
+        }
+        for pc in range(block.start, block.end):
+            instr = text[pc]
+            for reg in instr.source_regs():
+                defs = current.get(reg)
+                if not defs:
+                    defs = {ENTRY_DEF}
+                result.reaching[(pc, reg)] = set(defs)
+                for d in defs:
+                    result.uses_of_def[d].add((pc, reg))
+            dest = instr.dest_reg()
+            if dest is not None:
+                current[dest] = {pc}
+    return result

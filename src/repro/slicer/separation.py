@@ -1,0 +1,78 @@
+"""Stream separation (paper §4.2, steps 2-3).
+
+Every load/store and every control instruction seeds the Access Stream;
+their backward slices (register-dependence parents, transitively) join it.
+Store *data* operands are deliberately not chased — store data may be
+produced by the Computation Stream and crosses through the SDQ (the
+paper's Figure 6 shows exactly this: ``s.d $SDQ, 0($13)`` with the
+producing ``mul.d`` left in the CS).  Whatever is not Access Stream is
+Computation Stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..asm.program import Program
+from ..isa.instruction import Stream
+from ..isa.registers import ZERO
+from .pfg import ProgramFlowGraph
+
+
+@dataclass
+class SeparationResult:
+    """Stream assignment for every static instruction of a program."""
+
+    program: Program
+    pfg: ProgramFlowGraph
+    stream_of: list[Stream] = field(default_factory=list)
+
+    @property
+    def access_pcs(self) -> set[int]:
+        return {pc for pc, s in enumerate(self.stream_of) if s is Stream.AS}
+
+    @property
+    def computation_pcs(self) -> set[int]:
+        return {pc for pc, s in enumerate(self.stream_of) if s is Stream.CS}
+
+    def counts(self) -> dict[str, int]:
+        """Static instruction counts per stream (diagnostics / examples)."""
+        access = len(self.access_pcs)
+        return {
+            "total": len(self.stream_of),
+            "access": access,
+            "computation": len(self.stream_of) - access,
+        }
+
+    def annotate(self, program: Program | None = None) -> Program:
+        """Write the stream annotations into *program* (default: a copy of
+        the analysed program) and return it."""
+        target = program if program is not None else self.program.copy()
+        if len(target.text) != len(self.stream_of):
+            raise ValueError("program length does not match separation result")
+        for pc, stream in enumerate(self.stream_of):
+            target.text[pc].ann.stream = stream
+        return target
+
+
+def separate(program: Program) -> SeparationResult:
+    """Run the stream separation on *program* (which is left unmodified)."""
+    pfg = ProgramFlowGraph.build(program)
+    text = program.text
+
+    seeds: dict[int, tuple[int, ...] | None] = {}
+    for pc, instr in enumerate(text):
+        if instr.is_load:
+            seeds[pc] = instr.source_regs()          # address operands
+        elif instr.is_store:
+            regs = (instr.rs1,) if instr.rs1 != ZERO else ()
+            seeds[pc] = regs                          # address only, not data
+        elif instr.is_control:
+            seeds[pc] = instr.source_regs()          # condition / jr target
+
+    access = pfg.backward_slice(seeds)
+    result = SeparationResult(program=program, pfg=pfg)
+    result.stream_of = [
+        Stream.AS if pc in access else Stream.CS for pc in range(len(text))
+    ]
+    return result

@@ -1,0 +1,176 @@
+"""Tests for the text assembler (lexer + parser) and the disassembler."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.lexer import tokenize, tokenize_line
+from repro.errors import AssemblyError
+from repro.isa import Op
+from repro.isa.disasm import disassemble, disassemble_instruction
+from repro.sim.functional import FunctionalSimulator
+
+
+class TestLexer:
+    def test_blank_and_comments_skipped(self):
+        assert tokenize_line("", 1) is None
+        assert tokenize_line("  # comment", 1) is None
+        assert tokenize_line("; also comment", 1) is None
+
+    def test_label_and_tokens(self):
+        line = tokenize_line("loop: addi t0, t0, 1 # inc", 3)
+        assert line.label == "loop"
+        assert line.tokens == ["addi", "t0", ",", "t0", ",", "1"]
+
+    def test_hex_numbers(self):
+        line = tokenize_line("li t0, 0xFF", 1)
+        assert "0xFF" in line.tokens
+
+    def test_negative_numbers(self):
+        line = tokenize_line("addi t0, t0, -8", 1)
+        assert "-8" in line.tokens
+
+    def test_mem_operand_punctuation(self):
+        line = tokenize_line("ld t0, 8(sp)", 1)
+        assert line.tokens == ["ld", "t0", ",", "8", "(", "sp", ")"]
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(AssemblyError):
+            tokenize_line("addi t0 @ t1", 1)
+
+    def test_tokenize_keeps_line_numbers(self):
+        lines = tokenize("nop\n\nnop\n")
+        assert [line.number for line in lines] == [1, 3]
+
+
+class TestParser:
+    def test_full_program_executes(self):
+        src = """
+                .data
+        arr:    .word64 5, 6, 7
+        out:    .word64 0
+                .text
+        main:   la   t0, arr
+                li   t1, 3
+                li   t2, 0
+                li   t3, 0
+        loop:   ld   t4, 0(t0)
+                add  t2, t2, t4
+                addi t0, t0, 8
+                addi t3, t3, 1
+                blt  t3, t1, loop
+                la   a0, out
+                sd   t2, 0(a0)
+                halt
+        """
+        p = assemble(src)
+        state = FunctionalSimulator(p).run()
+        assert state.memory.load(p.data_symbols["out"], 8) == 18
+
+    def test_double_directive(self):
+        src = """
+                .data
+        v:      .double 1.5, -2.25
+                .text
+                halt
+        """
+        p = assemble(src)
+        import struct
+        assert struct.unpack_from("<d", p.data, 8)[0] == -2.25
+
+    def test_byte_and_space(self):
+        src = """
+                .data
+        b:      .byte 1, 2, 255
+        s:      .space 16
+                .text
+                halt
+        """
+        p = assemble(src)
+        assert p.data[2] == 255
+        assert p.data_symbols["s"] % 8 == 0
+
+    def test_bare_label_in_data(self):
+        src = """
+                .data
+        v:
+                .word64 9
+                .text
+                halt
+        """
+        p = assemble(src)
+        assert "v" in p.data_symbols
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate t0, t1\nhalt")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi q9, q9, 1\nhalt")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("nop nop\nhalt")
+
+    def test_directive_outside_data(self):
+        with pytest.raises(AssemblyError):
+            assemble(".word64 5\nhalt")
+
+    def test_numeric_branch_target(self):
+        p = assemble("beq zero, zero, 1\nhalt")
+        assert p.text[0].target == 1
+
+    def test_fp_instructions(self):
+        src = """
+                .data
+        x:      .double 3.0
+        y:      .double 0.0
+                .text
+                la t0, x
+                fld f0, 0(t0)
+                fmul f1, f0, f0
+                la t1, y
+                fsd f1, 0(t1)
+                halt
+        """
+        p = assemble(src)
+        state = FunctionalSimulator(p).run()
+        assert state.memory.load_f64(p.data_symbols["y"]) == 9.0
+
+
+class TestDisassembler:
+    def test_roundtrip_through_assembler(self):
+        src = """
+        main:   li t0, 10
+                addi t1, t0, -2
+                sltu t2, t1, t0
+                ld t3, 0(sp)
+                sd t3, 8(sp)
+                beq t2, zero, 0
+                jr ra
+                halt
+        """
+        p = assemble(src)
+        listing = disassemble(p.text, with_index=False)
+        p2 = assemble(listing)
+        assert [i.op for i in p2.text] == [i.op for i in p.text]
+        assert [i.imm for i in p2.text] == [i.imm for i in p.text]
+
+    def test_store_shows_sdq(self):
+        from repro.isa import Instruction
+
+        i = Instruction(op=Op.SD, rs1=4, rs2=5, imm=8)
+        assert "$SDQ" not in disassemble_instruction(i)
+        i.ann.sdq_data = True
+        assert "$SDQ" in disassemble_instruction(i)
+
+    def test_annotation_tags(self):
+        from repro.isa import Instruction, Stream
+        from repro.isa.disasm import annotation_tag
+
+        i = Instruction(op=Op.LD, rd=3, rs1=4)
+        assert annotation_tag(i) == ""
+        i.ann.stream = Stream.AS
+        i.ann.cmas = True
+        tag = annotation_tag(i)
+        assert "AS" in tag and "cmas" in tag

@@ -1,0 +1,139 @@
+"""Tests for the ProgramBuilder DSL."""
+
+import struct
+
+import pytest
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.program import DATA_BASE
+from repro.errors import AssemblyError
+from repro.isa import Op
+from repro.sim.functional import FunctionalSimulator
+
+
+class TestLabels:
+    def test_forward_and_backward_branches(self):
+        b = ProgramBuilder()
+        b.li("t0", 0)
+        b.label("top")
+        b.addi("t0", "t0", 1)
+        b.blt("t0", "zero", "top")     # never taken (t0 > 0)
+        b.beq("t0", "t0", "end")       # always taken, forward
+        b.addi("t0", "t0", 100)        # skipped
+        b.label("end")
+        b.halt()
+        p = b.build()
+        assert p.text[2].target == 1
+        assert p.text[3].target == 5
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblyError):
+            b.label("x")
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder()
+        b.j("nowhere")
+        b.halt()
+        with pytest.raises(AssemblyError):
+            b.build()
+
+    def test_la_resolves_data_symbol(self):
+        b = ProgramBuilder()
+        addr = b.data_i64("v", [7])
+        b.la("t0", "v")
+        b.halt()
+        p = b.build()
+        assert p.text[0].imm == addr == DATA_BASE
+
+
+class TestData:
+    def test_i64_layout(self):
+        b = ProgramBuilder()
+        b.data_i64("a", [1, -2])
+        p_addr = b.data_i64("b", [3])
+        b.halt()
+        p = b.build()
+        assert p_addr == DATA_BASE + 16
+        assert struct.unpack_from("<q", p.data, 8)[0] == -2
+
+    def test_f64_layout(self):
+        b = ProgramBuilder()
+        b.data_f64("f", [2.5])
+        b.halt()
+        p = b.build()
+        assert struct.unpack_from("<d", p.data, 0)[0] == 2.5
+
+    def test_alignment_after_bytes(self):
+        b = ProgramBuilder()
+        b.data_bytes("raw", b"abc")
+        addr = b.data_i64("v", [1])
+        b.halt()
+        assert addr % 8 == 0
+
+    def test_space_is_zeroed(self):
+        b = ProgramBuilder()
+        b.data_space("z", 32)
+        b.halt()
+        assert bytes(b.build().data) == b"\0" * 32
+
+
+class TestImmediates:
+    def test_in_range_ok(self):
+        b = ProgramBuilder()
+        b.li("t0", (1 << 28) - 1)
+        b.li("t1", -(1 << 28))
+        b.halt()
+        b.build()
+
+    def test_out_of_range_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            b.li("t0", 1 << 28)
+
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, (1 << 28) - 1, 1 << 30, -(1 << 40), (1 << 63) - 1,
+        -(1 << 63), 0x1234_5678_9ABC_DEF0,
+    ])
+    def test_li64_materialises(self, value):
+        expected = value if value < (1 << 63) else value - (1 << 64)
+        b = ProgramBuilder()
+        b.data_i64("out", [0])
+        b.li64("t0", value)
+        b.la("a0", "out")
+        b.sd("t0", 0, "a0")
+        b.halt()
+        p = b.build()
+        state = FunctionalSimulator(p).run()
+        assert state.memory.load(p.data_symbols["out"], 8) == expected
+
+
+class TestEmission:
+    def test_comment_attaches(self):
+        b = ProgramBuilder()
+        b.comment("the answer")
+        b.li("t0", 42)
+        b.halt()
+        assert b.build().text[0].comment == "the answer"
+
+    def test_store_operand_order(self):
+        b = ProgramBuilder()
+        b.sd("t1", 16, "t2")  # data=t1, base=t2
+        b.halt()
+        i = b.build().text[0]
+        assert i.op is Op.SD and i.rs2 == 9 and i.rs1 == 10 and i.imm == 16
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder()
+        assert b.here == 0
+        b.nop()
+        assert b.here == 1
+
+    def test_entry_label(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.label("main")
+        b.halt()
+        p = b.build(entry_label="main")
+        assert p.entry == 1

@@ -1,0 +1,53 @@
+"""CLI tests (argument handling plus one end-to-end table)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_accepted(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "figure8", "figure9", "figure10", "all"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure11"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["figure8", "--quick", "--seed", "9", "--json", "x.json"]
+        )
+        assert args.quick and args.seed == 9 and args.json == "x.json"
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "bimodal" in out
+
+    def test_figure10_quick_with_json(self, capsys, tmp_path, monkeypatch):
+        # restrict the sweep via monkeypatching to keep this test fast
+        import repro.experiments.cli as cli_mod
+
+        original = cli_mod.figure10
+
+        def tiny_figure10(config, quick, seed, progress, compiled=None):
+            return original(config, quick=quick, seed=seed,
+                            benchmarks=("field",),
+                            latencies=((12, 120),), progress=progress,
+                            compiled=compiled)
+
+        monkeypatch.setattr(cli_mod, "figure10", tiny_figure10)
+        json_path = tmp_path / "out.json"
+        assert main(["figure10", "--quick", "--no-progress",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        payload = json.loads(json_path.read_text())
+        assert "figure10" in payload
+        assert payload["figure10"]["ipc"]["field"]["hidisc"][0] > 0

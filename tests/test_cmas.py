@@ -1,0 +1,134 @@
+"""Tests for CMAS extraction and the cache-access profiler."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SlicingError
+from repro.sim import generate_trace, profile_cache
+from repro.slicer import compile_hidisc, extract_cmas, separate
+
+from .conftest import build_load_compute_store
+from repro.asm.builder import ProgramBuilder
+
+
+def build_chase(n=512, hops=64):
+    """A pointer chase over a permutation (misses a small cache model)."""
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    order = rng.permutation(n)
+    field = np.empty(n, dtype=np.int64)
+    field[order] = np.roll(order, -1)
+    b = ProgramBuilder("chase")
+    b.data_i64("field", field)
+    b.data_i64("out", [0])
+    b.la("s0", "field")
+    b.li("s1", hops)
+    b.li("s2", 0)
+    b.li("t0", 0)
+    b.label("loop")
+    b.slli("t1", "t0", 3)
+    b.add("t1", "t1", "s0")
+    b.ld("t0", 0, "t1")
+    b.addi("s2", "s2", 1)
+    b.blt("s2", "s1", "loop")
+    b.la("a0", "out")
+    b.sd("t0", 0, "a0")
+    b.halt()
+    return b.build()
+
+
+class TestProfiler:
+    def test_counts_accesses_per_pc(self, config):
+        program = build_load_compute_store(8)
+        trace, _ = generate_trace(program)
+        profile = profile_cache(program, trace, config)
+        load_pc = next(pc for pc, i in enumerate(program.text) if i.is_load)
+        assert profile.per_pc[load_pc].accesses == 8
+        assert profile.total_accesses == 16  # 8 loads + 8 stores
+
+    def test_miss_rates_bounded(self, config):
+        program = build_chase()
+        trace, _ = generate_trace(program)
+        profile = profile_cache(program, trace, config)
+        for pc_profile in profile.per_pc.values():
+            assert 0.0 <= pc_profile.miss_rate <= 1.0
+        assert 0.0 <= profile.miss_rate <= 1.0
+
+    def test_chase_load_is_probable_miss(self, config):
+        program = build_chase()
+        trace, _ = generate_trace(program)
+        profile = profile_cache(program, trace, config)
+        miss_pcs = profile.probable_miss_pcs(0.05)
+        chase_pc = next(
+            pc for pc, i in enumerate(program.text)
+            if i.is_load and i.rd == 8  # ld t0, 0(t1)
+        )
+        assert chase_pc in miss_pcs
+
+    def test_min_accesses_filter(self, config):
+        program = build_load_compute_store(2)
+        trace, _ = generate_trace(program)
+        profile = profile_cache(program, trace, config)
+        assert profile.probable_miss_pcs(0.0, min_accesses=100) == set()
+
+
+class TestExtraction:
+    def test_slice_contains_address_chain(self):
+        program = build_chase()
+        sep = separate(program)
+        chase_pc = next(pc for pc, i in enumerate(program.text)
+                        if i.is_load and i.rd == 8)
+        selection = extract_cmas(sep, {chase_pc})
+        assert chase_pc in selection.cmas_pcs
+        # slli and add feeding the address must be in the slice.
+        mnemonics = {program.text[pc].op.mnemonic for pc in selection.cmas_pcs}
+        assert {"slli", "add", "ld"} <= mnemonics
+
+    def test_slice_excludes_stores_and_control(self):
+        program = build_chase()
+        sep = separate(program)
+        chase_pc = next(pc for pc, i in enumerate(program.text)
+                        if i.is_load and i.rd == 8)
+        selection = extract_cmas(sep, {chase_pc})
+        for pc in selection.cmas_pcs:
+            assert not program.text[pc].is_store
+            assert not program.text[pc].is_control
+
+    def test_rejects_non_load_seed(self):
+        program = build_chase()
+        sep = separate(program)
+        store_pc = next(pc for pc, i in enumerate(program.text) if i.is_store)
+        with pytest.raises(SlicingError):
+            extract_cmas(sep, {store_pc})
+
+    def test_apply_marks(self):
+        program = build_chase()
+        sep = separate(program)
+        chase_pc = next(pc for pc, i in enumerate(program.text)
+                        if i.is_load and i.rd == 8)
+        selection = extract_cmas(sep, {chase_pc})
+        annotated = sep.annotate()
+        selection.apply(annotated)
+        assert annotated.text[chase_pc].ann.probable_miss
+        assert annotated.text[chase_pc].ann.cmas
+
+
+class TestPipeline:
+    def test_compile_hidisc_end_to_end(self, config):
+        comp = compile_hidisc(build_chase(), config)
+        report = comp.report()
+        assert report["probable_miss_loads"] >= 1
+        assert report["cmas_instructions"] >= 3
+        assert report["access_stream"] + report["computation_stream"] \
+            == report["static_instructions"]
+
+    def test_compile_with_explicit_seeds(self, config):
+        program = build_chase()
+        chase_pc = next(pc for pc, i in enumerate(program.text)
+                        if i.is_load and i.rd == 8)
+        comp = compile_hidisc(program, config, probable_miss_pcs={chase_pc})
+        assert comp.selection.probable_miss_pcs == {chase_pc}
+        # marks transferred to the decoupled program
+        mapped = comp.communication.instr_map[chase_pc]
+        assert comp.decoupled.text[mapped].ann.probable_miss

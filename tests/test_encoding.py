@@ -1,0 +1,129 @@
+"""Encode/decode round-trip tests, including a hypothesis sweep."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import Annotations, Format, Instruction, Op, Stream
+from repro.isa.encoding import (
+    decode_instruction,
+    decode_program_text,
+    encode_instruction,
+    encode_program_text,
+)
+
+_IMM_MIN = -(1 << 28)
+_IMM_MAX = (1 << 28) - 1
+
+
+def _roundtrip(instr: Instruction) -> Instruction:
+    return decode_instruction(encode_instruction(instr))
+
+
+class TestRoundtrip:
+    def test_alu(self):
+        i = Instruction(op=Op.ADD, rd=3, rs1=4, rs2=5)
+        j = _roundtrip(i)
+        assert (j.op, j.rd, j.rs1, j.rs2) == (Op.ADD, 3, 4, 5)
+
+    def test_negative_immediate(self):
+        i = Instruction(op=Op.ADDI, rd=3, rs1=4, imm=-12345)
+        assert _roundtrip(i).imm == -12345
+
+    def test_extreme_immediates(self):
+        for imm in (_IMM_MIN, _IMM_MAX, 0, -1):
+            assert _roundtrip(Instruction(op=Op.LI, rd=1, imm=imm)).imm == imm
+
+    def test_branch_target(self):
+        i = Instruction(op=Op.BEQ, rs1=1, rs2=2, target=1000)
+        j = _roundtrip(i)
+        assert j.target == 1000 and j.imm == 0
+
+    def test_annotations_survive(self):
+        i = Instruction(op=Op.LD, rd=3, rs1=4, imm=8)
+        i.ann = Annotations(stream=Stream.AS, cmas=True, probable_miss=True,
+                            trigger=True, to_ldq=True)
+        j = _roundtrip(i)
+        assert j.ann.stream is Stream.AS
+        assert j.ann.cmas and j.ann.probable_miss and j.ann.trigger
+        assert j.ann.to_ldq and not j.ann.sdq_data
+
+    def test_cs_annotations_survive(self):
+        i = Instruction(op=Op.MUL, rd=3, rs1=4, rs2=5)
+        i.ann = Annotations(stream=Stream.CS, ldq_rs1=True, ldq_rs2=True,
+                            to_sdq=True)
+        j = _roundtrip(i)
+        assert j.ann.stream is Stream.CS
+        assert j.ann.ldq_rs1 and j.ann.ldq_rs2 and j.ann.to_sdq
+
+    def test_unannotated_stream_none(self):
+        assert _roundtrip(Instruction(op=Op.NOP)).ann.stream is Stream.NONE
+
+
+class TestErrors:
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(op=Op.LI, rd=1, imm=_IMM_MAX + 1))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(op=Op.ADD, rd=64, rs1=0, rs2=0))
+
+    def test_bad_word_length(self):
+        with pytest.raises(EncodingError):
+            decode_program_text(b"\x00" * 7)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(127 << 57)
+
+
+class TestProgramText:
+    def test_roundtrip_list(self):
+        instrs = [
+            Instruction(op=Op.LI, rd=1, imm=5),
+            Instruction(op=Op.ADDI, rd=2, rs1=1, imm=-1),
+            Instruction(op=Op.BEQ, rs1=1, rs2=2, target=0),
+            Instruction(op=Op.HALT),
+        ]
+        blob = encode_program_text(instrs)
+        assert len(blob) == 32
+        out = decode_program_text(blob)
+        assert [o.op for o in out] == [i.op for i in instrs]
+        assert out[1].imm == -1 and out[2].target == 0
+
+
+_ann_strategy = st.builds(
+    Annotations,
+    stream=st.sampled_from([Stream.NONE, Stream.CS, Stream.AS]),
+    cmas=st.booleans(),
+    probable_miss=st.booleans(),
+    trigger=st.booleans(),
+    sdq_data=st.booleans(),
+    to_ldq=st.booleans(),
+    to_sdq=st.booleans(),
+    ldq_rs1=st.booleans(),
+    ldq_rs2=st.booleans(),
+)
+
+
+@given(
+    op=st.sampled_from(list(Op)),
+    rd=st.integers(0, 63),
+    rs1=st.integers(0, 63),
+    rs2=st.integers(0, 63),
+    value=st.integers(_IMM_MIN, _IMM_MAX),
+    ann=_ann_strategy,
+)
+def test_roundtrip_hypothesis(op, rd, rs1, rs2, value, ann):
+    instr = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, ann=ann)
+    if op.info.fmt in (Format.BRANCH, Format.BRANCH1, Format.JUMP):
+        instr.target = abs(value) % (1 << 28)
+    else:
+        instr.imm = value
+    out = decode_instruction(encode_instruction(instr))
+    assert out.op is instr.op
+    assert (out.rd, out.rs1, out.rs2) == (instr.rd, instr.rs1, instr.rs2)
+    assert out.imm == instr.imm and out.target == instr.target
+    assert out.ann == instr.ann

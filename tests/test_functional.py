@@ -1,0 +1,327 @@
+"""Functional simulator semantics, opcode group by opcode group."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.program import STACK_TOP
+from repro.errors import SimulationError
+from repro.isa import FP_BASE, Op
+from repro.sim.functional import FunctionalSimulator, load_program
+from repro.utils import to_signed64, to_unsigned64
+
+from .conftest import build_counting_loop
+
+
+def run_and_state(builder: ProgramBuilder):
+    program = builder.build()
+    sim = FunctionalSimulator(program)
+    return sim.run(), program, sim
+
+
+def eval_int_op(emit, a, b):
+    """Run one 3-register integer op on (a, b); return the result."""
+    builder = ProgramBuilder()
+    builder.data_i64("out", [0])
+    builder.li64("t0", a)
+    builder.li64("t1", b)
+    emit(builder)
+    builder.la("a0", "out")
+    builder.sd("t2", 0, "a0")
+    builder.halt()
+    state, program, _ = run_and_state(builder)
+    return state.memory.load(program.data_symbols["out"], 8)
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        result = eval_int_op(lambda b: b.add("t2", "t0", "t1"),
+                             2**63 - 1, 1)
+        assert result == -(2**63)
+
+    def test_sub(self):
+        assert eval_int_op(lambda b: b.sub("t2", "t0", "t1"), 5, 9) == -4
+
+    def test_mul_wraps(self):
+        assert eval_int_op(lambda b: b.mul("t2", "t0", "t1"),
+                           2**62, 4) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert eval_int_op(lambda b: b.div("t2", "t0", "t1"), -7, 2) == -3
+        assert eval_int_op(lambda b: b.div("t2", "t0", "t1"), 7, -2) == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), -7, 2) == -1
+        assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), 7, -2) == 1
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            eval_int_op(lambda b: b.div("t2", "t0", "t1"), 1, 0)
+
+    def test_logicals(self):
+        assert eval_int_op(lambda b: b.and_("t2", "t0", "t1"), 0b1100, 0b1010) == 0b1000
+        assert eval_int_op(lambda b: b.or_("t2", "t0", "t1"), 0b1100, 0b1010) == 0b1110
+        assert eval_int_op(lambda b: b.xor("t2", "t0", "t1"), 0b1100, 0b1010) == 0b0110
+        assert eval_int_op(lambda b: b.nor("t2", "t0", "t1"), 0, 0) == -1
+
+    def test_shifts(self):
+        assert eval_int_op(lambda b: b.sll("t2", "t0", "t1"), 1, 40) == 1 << 40
+        assert eval_int_op(lambda b: b.srl("t2", "t0", "t1"), -1, 60) == 15
+        assert eval_int_op(lambda b: b.sra("t2", "t0", "t1"), -16, 2) == -4
+
+    def test_shift_amount_masked_to_6_bits(self):
+        assert eval_int_op(lambda b: b.sll("t2", "t0", "t1"), 1, 64) == 1
+
+    def test_slt_signed_vs_unsigned(self):
+        assert eval_int_op(lambda b: b.slt("t2", "t0", "t1"), -1, 0) == 1
+        assert eval_int_op(lambda b: b.sltu("t2", "t0", "t1"), -1, 0) == 0
+
+    @given(a=st.integers(-(2**63), 2**63 - 1), b=st.integers(-(2**63), 2**63 - 1))
+    def test_add_matches_python(self, a, b):
+        assert eval_int_op(lambda bd: bd.add("t2", "t0", "t1"), a, b) \
+            == to_signed64(a + b)
+
+    @given(a=st.integers(-(2**63), 2**63 - 1), s=st.integers(0, 63))
+    def test_srl_matches_python(self, a, s):
+        assert eval_int_op(lambda bd: bd.srl("t2", "t0", "t1"), a, s) \
+            == to_signed64(to_unsigned64(a) >> s)
+
+
+class TestImmediates:
+    def test_addi_andi_ori(self):
+        b = ProgramBuilder()
+        b.data_i64("out", [0, 0, 0])
+        b.li("t0", 0xF0)
+        b.addi("t1", "t0", -1)
+        b.andi("t2", "t0", 0x3C)
+        b.ori("t3", "t0", 0x0F)
+        b.la("a0", "out")
+        b.sd("t1", 0, "a0")
+        b.sd("t2", 8, "a0")
+        b.sd("t3", 16, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        base = p.data_symbols["out"]
+        assert state.memory.load(base, 8) == 0xEF
+        assert state.memory.load(base + 8, 8) == 0x30
+        assert state.memory.load(base + 16, 8) == 0xFF
+
+    def test_slti(self):
+        b = ProgramBuilder()
+        b.data_i64("out", [9])
+        b.li("t0", -5)
+        b.slti("t1", "t0", 0)
+        b.la("a0", "out")
+        b.sd("t1", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 1
+
+
+class TestMemoryOps:
+    def test_lw_sign_extends(self):
+        b = ProgramBuilder()
+        b.data_i32("v", [-2])
+        b.data_i64("out", [0])
+        b.la("t0", "v")
+        b.lw("t1", 0, "t0")
+        b.la("a0", "out")
+        b.sd("t1", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == -2
+
+    def test_lbu_zero_extends(self):
+        b = ProgramBuilder()
+        b.data_bytes("v", b"\xff")
+        b.align(8)
+        b.data_i64("out", [0])
+        b.la("t0", "v")
+        b.lbu("t1", 0, "t0")
+        b.la("a0", "out")
+        b.sd("t1", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 255
+
+    def test_sw_truncates(self):
+        b = ProgramBuilder()
+        b.data_i64("out", [0])
+        b.li64("t0", 0x1_0000_0002)
+        b.la("a0", "out")
+        b.sw("t0", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 2
+
+    def test_r0_load_discarded(self):
+        b = ProgramBuilder()
+        b.data_i64("v", [77])
+        b.la("t0", "v")
+        b.emit_r0_load = b.ld("zero", 0, "t0")
+        b.halt()
+        state, _, _ = run_and_state(b)
+        assert state.regs[0] == 0
+
+
+class TestControl:
+    def test_counting_loop(self):
+        p = build_counting_loop(10)
+        state = FunctionalSimulator(p).run()
+        assert state.memory.load(p.data_symbols["out"], 8) == 45
+
+    def test_jal_jr_subroutine(self):
+        b = ProgramBuilder()
+        b.data_i64("out", [0])
+        b.j("main")
+        b.label("double")          # t0 = t0 * 2; return
+        b.add("t0", "t0", "t0")
+        b.jr("ra")
+        b.label("main")
+        b.li("t0", 21)
+        b.jal("double")
+        b.la("a0", "out")
+        b.sd("t0", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 42
+
+    def test_beqz_bnez(self):
+        b = ProgramBuilder()
+        b.data_i64("out", [0])
+        b.li("t0", 0)
+        b.li("t1", 1)
+        b.beqz("t0", "a")
+        b.li("t2", 111)      # skipped
+        b.label("a")
+        b.bnez("t1", "b")
+        b.li("t2", 222)      # skipped
+        b.label("b")
+        b.addi("t2", "t2", 5)
+        b.la("a0", "out")
+        b.sd("t2", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 5
+
+    def test_infinite_loop_detected(self):
+        b = ProgramBuilder()
+        b.label("spin")
+        b.j("spin")
+        p = b.build()
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(p).run(max_steps=1000)
+
+    def test_pc_out_of_range(self):
+        b = ProgramBuilder()
+        b.li("ra", 9999)
+        b.jr("ra")
+        p = b.build()
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(p).run()
+
+
+class TestFloat:
+    def test_arith_pipeline(self, fp_kernel):
+        state = FunctionalSimulator(fp_kernel).run()
+        base = fp_kernel.data_symbols["outv"]
+        for i in range(6):
+            expected = (0.5 * i) * (1.5 * i + 1.0) + 0.5
+            assert state.memory.load_f64(base + 8 * i) == expected
+
+    def test_compare_and_convert(self):
+        b = ProgramBuilder()
+        b.data_f64("v", [2.5, 7.0])
+        b.data_i64("out", [0, 0])
+        b.la("t0", "v")
+        b.fld("f0", 0, "t0")
+        b.fld("f1", 8, "t0")
+        b.flt("t1", "f0", "f1")
+        b.ftoi("t2", "f1")
+        b.la("a0", "out")
+        b.sd("t1", 0, "a0")
+        b.sd("t2", 8, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load(p.data_symbols["out"], 8) == 1
+        assert state.memory.load(p.data_symbols["out"] + 8, 8) == 7
+
+    def test_itof_fsqrt(self):
+        b = ProgramBuilder()
+        b.data_f64("out", [0.0])
+        b.li("t0", 16)
+        b.itof("f0", "t0")
+        b.fsqrt("f1", "f0")
+        b.la("a0", "out")
+        b.fsd("f1", 0, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        assert state.memory.load_f64(p.data_symbols["out"]) == 4.0
+
+    def test_fdiv_by_zero_raises(self):
+        b = ProgramBuilder()
+        b.data_f64("z", [0.0])
+        b.la("t0", "z")
+        b.fld("f0", 0, "t0")
+        b.fdiv("f1", "f0", "f0")
+        b.halt()
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(b.build()).run()
+
+    def test_fsqrt_negative_raises(self):
+        b = ProgramBuilder()
+        b.data_f64("v", [-1.0])
+        b.la("t0", "v")
+        b.fld("f0", 0, "t0")
+        b.fsqrt("f1", "f0")
+        b.halt()
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(b.build()).run()
+
+    def test_fmin_fmax_fneg_fabs(self):
+        b = ProgramBuilder()
+        b.data_f64("v", [3.0, -4.0])
+        b.data_f64("out", [0.0, 0.0, 0.0, 0.0])
+        b.la("t0", "v")
+        b.fld("f0", 0, "t0")
+        b.fld("f1", 8, "t0")
+        b.fmin("f2", "f0", "f1")
+        b.fmax("f3", "f0", "f1")
+        b.fneg("f4", "f0")
+        b.fabs_("f5", "f1")
+        b.la("a0", "out")
+        b.fsd("f2", 0, "a0")
+        b.fsd("f3", 8, "a0")
+        b.fsd("f4", 16, "a0")
+        b.fsd("f5", 24, "a0")
+        b.halt()
+        state, p, _ = run_and_state(b)
+        base = p.data_symbols["out"]
+        assert state.memory.load_f64(base) == -4.0
+        assert state.memory.load_f64(base + 8) == 3.0
+        assert state.memory.load_f64(base + 16) == -3.0
+        assert state.memory.load_f64(base + 24) == 4.0
+
+
+class TestHarness:
+    def test_load_program_initialises_sp(self, counting_loop):
+        state = load_program(counting_loop)
+        from repro.isa.registers import NAME_TO_REG
+
+        assert state.regs[NAME_TO_REG["sp"]] == STACK_TOP - 64
+
+    def test_queue_op_outside_decoupled_rejected(self):
+        from repro.isa import Instruction
+
+        b = ProgramBuilder()
+        b.emit(Instruction(op=Op.PUSH_LDQ, rs1=8))
+        b.halt()
+        with pytest.raises(SimulationError):
+            FunctionalSimulator(b.build()).run()
+
+    def test_instruction_count(self, counting_loop):
+        sim = FunctionalSimulator(counting_loop)
+        sim.run()
+        # 3 setup + 10 * 3 loop + la + sd + halt
+        assert sim.instructions_executed == 3 + 30 + 3

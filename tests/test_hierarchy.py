@@ -1,0 +1,109 @@
+"""Tests for the two-level hierarchy: latencies, MSHR merging, prefetch."""
+
+import pytest
+
+from repro.config import CacheConfig, MachineConfig
+from repro.sim.hierarchy import MemoryHierarchy
+
+
+def make_hierarchy(l1_latency=1, l2_latency=12, memory=120):
+    return MemoryHierarchy(
+        CacheConfig(sets=4, block_bytes=32, ways=2, latency=l1_latency, name="L1"),
+        CacheConfig(sets=16, block_bytes=64, ways=2, latency=l2_latency, name="L2"),
+        memory,
+    )
+
+
+class TestLatencies:
+    def test_cold_miss_full_latency(self):
+        h = make_hierarchy()
+        assert h.access(0x1000, False, now=0) == 1 + 12 + 120
+
+    def test_l1_hit(self):
+        h = make_hierarchy()
+        h.access(0x1000, False, now=0)
+        assert h.access(0x1008, False, now=200) == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.access(0x0000, False, now=0)
+        # Evict the L1 line (sets=4, ways=2: three conflicting blocks).
+        h.access(0x0080, False, now=200)
+        h.access(0x0100, False, now=400)
+        latency = h.access(0x0000, False, now=600)
+        assert latency == 1 + 12  # L2 still holds it
+
+    def test_from_config(self):
+        h = MemoryHierarchy.from_config(MachineConfig())
+        assert h.memory_latency == 120
+        assert h.l1.config.sets == 256
+
+
+class TestMshrMerging:
+    def test_second_access_merges(self):
+        h = make_hierarchy()
+        first = h.access(0x1000, False, now=0)
+        assert first == 133
+        second = h.access(0x1008, False, now=10)
+        assert second == 133 - 10
+        assert h.stats.merged_misses == 1
+
+    def test_merge_after_fill_is_plain_hit(self):
+        h = make_hierarchy()
+        h.access(0x1000, False, now=0)
+        assert h.access(0x1008, False, now=140) == 1
+        assert h.stats.merged_misses == 0
+
+    def test_prefetch_then_demand_overlap_counted(self):
+        h = make_hierarchy()
+        h.prefetch(0x1000, now=0)
+        latency = h.access(0x1000, False, now=50)
+        assert latency == 133 - 50
+        assert h.stats.late_prefetch_overlaps == 1
+
+    def test_timely_prefetch_gives_hit(self):
+        h = make_hierarchy()
+        h.prefetch(0x1000, now=0)
+        assert h.access(0x1000, False, now=500) == 1
+        assert h.l1.stats.useful_prefetch_hits == 1
+
+
+class TestStats:
+    def test_demand_classification(self):
+        h = make_hierarchy()
+        h.access(0x1000, False, now=0)
+        h.access(0x2000, True, now=0)
+        h.prefetch(0x3000, now=0)
+        assert h.stats.demand_loads == 1
+        assert h.stats.demand_stores == 1
+        assert h.stats.prefetches == 1
+
+    def test_prefetch_does_not_pollute_demand_stats(self):
+        h = make_hierarchy()
+        h.prefetch(0x1000, now=0)
+        assert h.l1.stats.demand_accesses == 0
+        assert h.demand_miss_rate() == 0.0
+
+    def test_reset_stats_keeps_contents(self):
+        h = make_hierarchy()
+        h.access(0x1000, False, now=0)
+        h.reset_stats()
+        assert h.stats.demand_loads == 0
+        assert h.l1.stats.demand_accesses == 0
+        # The line is still cached (warmup semantics).
+        assert h.access(0x1000, False, now=1000) == 1
+
+    def test_miss_rate(self):
+        h = make_hierarchy()
+        h.access(0x1000, False, now=0)
+        h.access(0x1000, False, now=200)
+        assert h.demand_miss_rate() == pytest.approx(0.5)
+
+
+class TestLatencySweep:
+    def test_figure10_configs_scale(self):
+        config = MachineConfig()
+        for l2, mem in ((4, 40), (16, 160)):
+            point = config.with_latency(l2, mem)
+            h = MemoryHierarchy.from_config(point)
+            assert h.access(0x1000, False, now=0) == 1 + l2 + mem

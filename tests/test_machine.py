@@ -1,0 +1,142 @@
+"""Machine-level edge cases: decoupled warmup, stall accounting, results."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.sim import (
+    Machine,
+    build_cmas_plan,
+    build_queue_plan,
+    generate_decoupled_trace,
+    generate_trace,
+)
+from repro.sim.machine import RunResult
+from repro.slicer import compile_hidisc
+
+from .conftest import build_load_compute_store
+from tests.test_cmas import build_chase
+
+
+@pytest.fixture
+def compiled(config):
+    program = build_load_compute_store(48)
+    comp = compile_hidisc(program, config, probable_miss_pcs=set())
+    trace, _ = generate_trace(program)
+    dtrace, _ = generate_decoupled_trace(comp.decoupled)
+    qplan = build_queue_plan(comp.decoupled, dtrace)
+    return comp, trace, dtrace, qplan
+
+
+class TestDecoupledWarmup:
+    def test_warmup_on_decoupled_machine(self, config, compiled):
+        comp, trace, dtrace, qplan = compiled
+        full = Machine(config, comp.decoupled, dtrace, mode="cp_ap",
+                       queue_plan=qplan, work_instructions=len(trace)).run()
+        half = Machine(config, comp.decoupled, dtrace, mode="cp_ap",
+                       queue_plan=qplan, work_instructions=len(trace),
+                       warmup_pos=len(dtrace) // 2).run()
+        assert half.total_cycles == full.total_cycles
+        assert 0 < half.cycles < full.cycles
+
+    def test_zero_warmup_measures_everything(self, config, compiled):
+        comp, trace, dtrace, qplan = compiled
+        r = Machine(config, comp.decoupled, dtrace, mode="cp_ap",
+                    queue_plan=qplan, warmup_pos=0).run()
+        assert r.cycles == r.total_cycles
+
+
+class TestStallAccounting:
+    def test_lod_counters_on_sync_heavy_kernel(self, config, compiled):
+        comp, trace, dtrace, qplan = compiled
+        r = Machine(config, comp.decoupled, dtrace, mode="cp_ap",
+                    queue_plan=qplan, work_instructions=len(trace)).run()
+        # the kernel stores CS-produced data every iteration: some
+        # rendezvous accounting must appear somewhere.
+        assert r.loss_of_decoupling_cycles() >= 0
+        assert "CP" in r.core_stats and "AP" in r.core_stats
+        for stats in r.core_stats.values():
+            assert stats["committed"] > 0
+
+
+class TestRunResult:
+    def test_speedup_and_ratio(self):
+        a = RunResult(machine="superscalar", benchmark="x", cycles=1000,
+                      work_instructions=2000)
+        b = RunResult(machine="hidisc", benchmark="x", cycles=500,
+                      work_instructions=2000)
+        assert b.speedup_over(a) == 2.0
+        assert a.ipc == 2.0 and b.ipc == 4.0
+
+    def test_zero_cycle_guard(self):
+        a = RunResult(machine="m", benchmark="x", cycles=0,
+                      work_instructions=10)
+        b = RunResult(machine="m", benchmark="x", cycles=10,
+                      work_instructions=10)
+        assert a.ipc == 0.0
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_miss_ratio_zero_baseline(self):
+        a = RunResult(machine="m", benchmark="x", cycles=1,
+                      work_instructions=1)
+        b = RunResult(machine="m", benchmark="x", cycles=1,
+                      work_instructions=1)
+        assert a.miss_rate_ratio(b) == 1.0
+
+    def test_summary_contains_key_facts(self):
+        r = RunResult(machine="hidisc", benchmark="pointer", cycles=123,
+                      work_instructions=456)
+        s = r.summary()
+        assert "pointer" in s and "hidisc" in s and "123" in s
+
+
+class TestCmpDrain:
+    def test_run_completes_with_pending_prefetches(self, config):
+        """The machine finishes when the main cores drain even if the CMP
+        still holds unexecuted CMAS work."""
+        program = build_chase(n=2048, hops=200)
+        trace, _ = generate_trace(program)
+        comp = compile_hidisc(program, config, trace=trace)
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=4)
+        r = Machine(config, comp.original, trace, mode="cp_cmp",
+                    cmas_plan=plan).run()
+        assert r.cycles > 0
+        assert r.cmas_threads_forked + r.cmas_threads_dropped \
+            == len(plan.threads)
+
+    def test_thread_drop_accounting(self, config):
+        """With a trigger distance spanning the whole trace, every thread
+        forks at position 0; the CMP queue overflows and drops are counted."""
+        program = build_chase(n=4096, hops=2000)
+        trace, _ = generate_trace(program)
+        comp = compile_hidisc(program, config, trace=trace)
+        plan = build_cmas_plan(comp.original, trace,
+                               trigger_distance=10**9)
+        r = Machine(config, comp.original, trace, mode="cp_cmp",
+                    cmas_plan=plan).run()
+        assert r.cmas_threads_dropped > 0
+
+
+class TestLatencyMonotonicity:
+    def test_cycles_monotone_in_memory_latency(self, config):
+        program = build_chase(n=2048, hops=300)
+        trace, _ = generate_trace(program)
+        previous = 0
+        for l2, mem in ((4, 40), (8, 80), (12, 120), (16, 160)):
+            point = config.with_latency(l2, mem)
+            cycles = Machine(point, program.copy(), trace,
+                             mode="superscalar").run().cycles
+            assert cycles >= previous
+            previous = cycles
+
+
+class TestModesAgreeOnWork:
+    def test_all_modes_same_memory_traffic(self, config, compiled):
+        comp, trace, dtrace, qplan = compiled
+        base = Machine(config, comp.original, trace,
+                       mode="superscalar").run()
+        dec = Machine(config, comp.decoupled, dtrace, mode="cp_ap",
+                      queue_plan=qplan, work_instructions=len(trace)).run()
+        # same loads/stores reach the hierarchy in both machines
+        assert base.memory.demand_loads == dec.memory.demand_loads
+        assert base.memory.demand_stores == dec.memory.demand_stores

@@ -1,0 +1,116 @@
+"""Tests for the sparse main memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFault
+from repro.sim.memory import PAGE_SIZE, MainMemory
+
+
+@pytest.fixture
+def mem():
+    return MainMemory(1 << 24)
+
+
+class TestScalars:
+    def test_load_default_zero(self, mem):
+        assert mem.load(0x1000, 8) == 0
+
+    def test_store_load_64(self, mem):
+        mem.store(0x1000, 0xDEADBEEF, 8)
+        assert mem.load(0x1000, 8) == 0xDEADBEEF
+
+    def test_negative_value_roundtrip(self, mem):
+        mem.store(0x1000, (-5) & ((1 << 64) - 1), 8)
+        assert mem.load(0x1000, 8) == -5
+
+    def test_byte_and_word(self, mem):
+        mem.store(0x2000, 0xAB, 1)
+        assert mem.load(0x2000, 1) == 0xAB
+        mem.store(0x2004, 0x1234_5678, 4)
+        assert mem.load(0x2004, 4) == 0x1234_5678
+
+    def test_float_roundtrip(self, mem):
+        mem.store_f64(0x3000, -2.75)
+        assert mem.load_f64(0x3000) == -2.75
+
+    def test_float_and_int_share_bits(self, mem):
+        mem.store_f64(0x3000, 1.0)
+        assert mem.load(0x3000, 8) == 0x3FF0000000000000
+
+
+class TestFaults:
+    def test_misaligned(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load(0x1001, 8)
+        with pytest.raises(MemoryFault):
+            mem.store(0x1002, 0, 4)
+
+    def test_out_of_range(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load(1 << 24, 8)
+        with pytest.raises(MemoryFault):
+            mem.load(-8, 8)
+
+    def test_byte_never_misaligned(self, mem):
+        mem.store(0x1003, 7, 1)
+        assert mem.load(0x1003, 1) == 7
+
+
+class TestBulk:
+    def test_write_read_across_pages(self, mem):
+        payload = bytes(range(256)) * 300  # spans > one 64 KiB page
+        base = PAGE_SIZE - 128
+        mem.write_bytes(base, payload)
+        assert mem.read_bytes(base, len(payload)) == payload
+        assert mem.touched_pages() >= 2
+
+    def test_bulk_out_of_range(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_bytes((1 << 24) - 4, b"12345678")
+
+    def test_sparse_untouched(self, mem):
+        assert mem.touched_pages() == 0
+        mem.load(0x10_0000, 8)
+        assert mem.touched_pages() == 1
+
+
+class TestEquality:
+    def test_equal_fresh(self):
+        assert MainMemory(1 << 20).equal_contents(MainMemory(1 << 20))
+
+    def test_zero_page_equals_untouched(self):
+        a, b = MainMemory(1 << 20), MainMemory(1 << 20)
+        a.store(0x100, 0, 8)  # touches a page but stays zero
+        assert a.equal_contents(b) and b.equal_contents(a)
+
+    def test_difference_detected(self):
+        a, b = MainMemory(1 << 20), MainMemory(1 << 20)
+        a.store(0x100, 1, 8)
+        assert not a.equal_contents(b)
+
+    def test_snapshot(self):
+        a = MainMemory(1 << 20)
+        a.store(0x100, 42, 8)
+        snap = a.snapshot()
+        assert len(snap) == 1
+        a.store(0x100, 43, 8)
+        (page,) = snap.values()
+        assert page[0x100] == 42
+
+
+@given(st.lists(
+    st.tuples(st.integers(0, (1 << 16) - 8), st.integers(-(2**63), 2**63 - 1)),
+    max_size=40,
+))
+def test_memory_behaves_like_dict(writes):
+    """Property: memory == last-writer-wins dict at 8-byte granularity."""
+    mem = MainMemory(1 << 20)
+    model = {}
+    for addr, value in writes:
+        addr &= ~7
+        mem.store(addr, value & ((1 << 64) - 1), 8)
+        model[addr] = value
+    for addr, value in model.items():
+        assert mem.load(addr, 8) == value

@@ -1,0 +1,102 @@
+"""Tests for the architectural FIFO queues."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueueProtocolError
+from repro.sim.queues import ArchQueue, QueueSet
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        q = ArchQueue("q", 8)
+        for v in (1, 2, 3):
+            q.push(v)
+        assert [q.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_pop_empty_raises(self):
+        q = ArchQueue("q", 4)
+        with pytest.raises(QueueProtocolError):
+            q.pop()
+
+    def test_peek(self):
+        q = ArchQueue("q", 4)
+        q.push(9)
+        assert q.peek() == 9
+        assert len(q) == 1
+        q.pop()
+        with pytest.raises(QueueProtocolError):
+            q.peek()
+
+    def test_capacity_enforced_optionally(self):
+        q = ArchQueue("q", 2)
+        q.push(1)
+        q.push(2)
+        assert q.full and not q.can_push()
+        q.push(3)  # functional mode: allowed
+        with pytest.raises(QueueProtocolError):
+            q.push(4, enforce_capacity=True)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ArchQueue("q", 0)
+
+
+class TestStats:
+    def test_counters(self):
+        q = ArchQueue("q", 4)
+        q.push(1)
+        q.push(2)
+        q.pop()
+        q.note_full_stall(3)
+        q.note_empty_stall()
+        s = q.stats
+        assert s.pushes == 2 and s.pops == 1
+        assert s.max_occupancy == 2
+        assert s.full_stall_cycles == 3 and s.empty_stall_cycles == 1
+
+    def test_clear_keeps_stats(self):
+        q = ArchQueue("q", 4)
+        q.push(1)
+        q.clear()
+        assert q.empty
+        assert q.stats.pushes == 1
+
+
+class TestQueueSet:
+    def test_construction(self):
+        qs = QueueSet(32, 16, 8)
+        assert qs.ldq.capacity == 32
+        assert qs.sdq.capacity == 16
+        assert qs.saq.capacity == 8
+
+    def test_all_empty(self):
+        qs = QueueSet(4, 4, 4)
+        assert qs.all_empty()
+        qs.sdq.push(1)
+        assert not qs.all_empty()
+        qs.clear()
+        assert qs.all_empty()
+
+
+@given(st.lists(st.one_of(st.integers(), st.none()), max_size=60))
+def test_queue_matches_list_model(ops):
+    """Property: push/pop sequence behaves exactly like a Python list.
+
+    Integers push the value; None pops (skipped when the model is empty).
+    """
+    q = ArchQueue("model", 1 << 30)
+    model: list[int] = []
+    for op in ops:
+        if op is None:
+            if model:
+                assert q.pop() == model.pop(0)
+            else:
+                with pytest.raises(QueueProtocolError):
+                    q.pop()
+        else:
+            q.push(op)
+            model.append(op)
+        assert len(q) == len(model)
+        assert q.empty == (not model)

@@ -1,0 +1,76 @@
+"""Tests for stream separation (the AS/CS split)."""
+
+from repro.isa import Stream
+from repro.slicer import separate, validate_separation
+
+from .conftest import (
+    build_counting_loop,
+    build_fp_kernel,
+    build_load_compute_store,
+    build_store_loop,
+)
+
+
+class TestSeparation:
+    def test_all_memory_and_control_in_as(self):
+        for program in (build_counting_loop(), build_store_loop(),
+                        build_load_compute_store(), build_fp_kernel()):
+            sep = separate(program)
+            for pc, instr in enumerate(program.text):
+                if instr.is_mem or instr.is_control:
+                    assert sep.stream_of[pc] is Stream.AS, (program.name, pc)
+
+    def test_counting_loop_is_mostly_as(self):
+        # Loop counters feed the branch, so they are chased into the AS;
+        # the accumulating add feeds only the final store's data, so it is
+        # the lone CS instruction besides nothing else.
+        program = build_counting_loop()
+        sep = separate(program)
+        counts = sep.counts()
+        # the accumulator chain: `li t2, 0` and `add t2, t2, t0`.
+        assert counts["computation"] == 2
+        assert sep.stream_of[2] is Stream.CS
+        assert sep.stream_of[3] is Stream.CS
+
+    def test_compute_chain_lands_in_cs(self):
+        program = build_load_compute_store()
+        sep = separate(program)
+        # mul (pc 5) and addi (pc 6) produce the store data -> CS.
+        assert sep.stream_of[5] is Stream.CS
+        assert sep.stream_of[6] is Stream.CS
+
+    def test_address_producers_land_in_as(self):
+        program = build_load_compute_store()
+        sep = separate(program)
+        # pointer increments (addi t0/t1) feed addresses -> AS.
+        for pc, instr in enumerate(program.text):
+            if instr.op.mnemonic == "addi" and instr.rd in (8, 9):  # t0, t1
+                assert sep.stream_of[pc] is Stream.AS
+
+    def test_fp_pipeline_in_cs(self):
+        program = build_fp_kernel()
+        sep = separate(program)
+        fp_compute = [pc for pc, i in enumerate(program.text)
+                      if i.op.mnemonic in ("fmul", "fadd")]
+        assert fp_compute
+        for pc in fp_compute:
+            assert sep.stream_of[pc] is Stream.CS
+
+    def test_closure_validates(self):
+        for program in (build_counting_loop(), build_store_loop(),
+                        build_load_compute_store(), build_fp_kernel()):
+            validate_separation(separate(program))
+
+    def test_annotate_returns_copy_by_default(self):
+        program = build_counting_loop()
+        sep = separate(program)
+        annotated = sep.annotate()
+        assert annotated is not program
+        assert program.text[0].ann.stream is Stream.NONE
+        assert annotated.text[0].ann.stream is not Stream.NONE
+
+    def test_access_pcs_partition(self):
+        program = build_store_loop()
+        sep = separate(program)
+        assert sep.access_pcs | sep.computation_pcs == set(range(len(program.text)))
+        assert not (sep.access_pcs & sep.computation_pcs)

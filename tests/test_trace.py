@@ -1,0 +1,131 @@
+"""Tests for trace generation, queue plans and CMAS plans."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.sim import (
+    build_cmas_plan,
+    build_queue_plan,
+    generate_decoupled_trace,
+    generate_trace,
+)
+from repro.slicer import compile_hidisc
+
+from .conftest import build_counting_loop, build_load_compute_store
+
+
+class TestGenerateTrace:
+    def test_length_matches_functional(self, counting_loop):
+        trace, state = generate_trace(counting_loop)
+        assert state.halted
+        assert len(trace) == 36
+
+    def test_records_addresses(self, load_compute_store):
+        trace, _ = generate_trace(load_compute_store)
+        mem_records = [d for d in trace
+                       if load_compute_store.text[d.pc].is_mem]
+        assert all(d.addr >= 0 for d in mem_records)
+        non_mem = [d for d in trace
+                   if not load_compute_store.text[d.pc].is_mem]
+        assert all(d.addr == -1 for d in non_mem)
+
+    def test_records_branch_outcomes(self, counting_loop):
+        trace, _ = generate_trace(counting_loop)
+        branch_pcs = [d for d in trace if counting_loop.text[d.pc].is_branch]
+        taken = [d for d in branch_pcs if d.next_pc != d.pc + 1]
+        assert len(branch_pcs) == 10 and len(taken) == 9
+
+
+class TestQueuePlan:
+    @pytest.fixture
+    def compiled(self, config):
+        program = build_load_compute_store()
+        comp = compile_hidisc(program, config, probable_miss_pcs=set())
+        dtrace, _ = generate_decoupled_trace(comp.decoupled)
+        return comp, dtrace
+
+    def test_balanced(self, compiled, config):
+        comp, dtrace = compiled
+        plan = build_queue_plan(comp.decoupled, dtrace)
+        assert plan.balanced
+        assert len(plan.ldq_push_pos) == len(plan.ldq_pop_pos)
+        assert len(plan.sdq_push_pos) == len(plan.sdq_pop_pos) > 0
+
+    def test_fifo_matching_order(self, compiled):
+        comp, dtrace = compiled
+        plan = build_queue_plan(comp.decoupled, dtrace)
+        for pop_pos, matches in plan.ldq_match.items():
+            for push_pos in matches:
+                assert push_pos < pop_pos
+        # the k-th pop matches the k-th push
+        flat = [m for pos in plan.ldq_pop_pos for m in [plan.ldq_match[pos]]]
+        seen = []
+        for pos in plan.ldq_pop_pos:
+            seen.extend(plan.ldq_match[pos][:1])
+        assert plan.ldq_push_pos[: len(seen)] != [] or not seen
+
+    def test_routes_cover_trace(self, compiled):
+        comp, dtrace = compiled
+        plan = build_queue_plan(comp.decoupled, dtrace)
+        assert len(plan.route) == len(dtrace)
+        assert set(plan.route) <= {0, 1}
+
+    def test_unannotated_program_rejected(self, counting_loop):
+        trace, _ = generate_trace(counting_loop)
+        with pytest.raises(SimulationError):
+            build_queue_plan(counting_loop, trace)
+
+
+class TestCmasPlan:
+    @pytest.fixture
+    def compiled(self, config):
+        program = build_load_compute_store(32)
+        load_pc = next(pc for pc, i in enumerate(program.text) if i.is_load)
+        comp = compile_hidisc(program, config,
+                              probable_miss_pcs={load_pc})
+        trace, _ = generate_trace(program)
+        return comp, trace
+
+    def test_threads_cover_each_instance_once(self, compiled):
+        comp, trace = compiled
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=16)
+        claimed: list[int] = []
+        for thread in plan.threads:
+            claimed.extend(thread.positions)
+        assert claimed == sorted(set(claimed))  # no duplicates, ascending
+
+    def test_trigger_precedes_miss(self, compiled):
+        comp, trace = compiled
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=16)
+        assert plan.threads
+        for thread in plan.threads:
+            assert thread.trigger_pos <= thread.miss_pos
+            assert thread.miss_pos - thread.trigger_pos <= 16
+
+    def test_by_trigger_index(self, compiled):
+        comp, trace = compiled
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=16)
+        for pos, indices in plan.by_trigger.items():
+            for idx in indices:
+                assert plan.threads[idx].trigger_pos == pos
+
+    def test_positions_are_cmas_instances(self, compiled):
+        comp, trace = compiled
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=16)
+        for thread in plan.threads:
+            for pos in thread.positions:
+                assert comp.original.text[trace[pos].pc].ann.cmas
+
+    def test_no_marks_no_threads(self, config, counting_loop):
+        comp = compile_hidisc(counting_loop, config, probable_miss_pcs=set())
+        trace, _ = generate_trace(counting_loop)
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=16)
+        assert plan.threads == []
+        assert plan.total_prefetch_instructions == 0
+
+    def test_max_slice_cap(self, compiled):
+        comp, trace = compiled
+        plan = build_cmas_plan(comp.original, trace, trigger_distance=10**6,
+                               max_slice=2)
+        assert all(len(t.positions) <= 2 for t in plan.threads)

@@ -1,0 +1,212 @@
+"""Workload tests: correctness, determinism, separation soundness, and the
+memory-access character each benchmark is supposed to have."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import WorkloadError
+from repro.sim import generate_trace, profile_cache
+from repro.sim.functional import FunctionalSimulator
+from repro.slicer import compile_hidisc, validate_decoupled_dynamic
+from repro.workloads import (
+    DmWorkload,
+    FieldWorkload,
+    NeighborhoodWorkload,
+    PointerWorkload,
+    RayTraceWorkload,
+    TransitiveWorkload,
+    UpdateWorkload,
+    WORKLOAD_CLASSES,
+    check_ap_executable,
+    get_workload,
+    quick_workloads,
+)
+
+QUICK = {w.name: w for w in quick_workloads()}
+
+
+@pytest.mark.parametrize("name", sorted(QUICK))
+class TestEveryWorkload:
+    def test_reference_matches_kernel(self, name):
+        w = QUICK[name]
+        state = FunctionalSimulator(w.program).run()
+        w.verify(state)  # raises on mismatch
+
+    def test_separation_sound(self, name):
+        w = QUICK[name]
+        comp = compile_hidisc(w.program, MachineConfig(),
+                              probable_miss_pcs=set())
+        validate_decoupled_dynamic(w.program, comp.decoupled)
+
+    def test_no_fp_in_access_stream(self, name):
+        w = QUICK[name]
+        comp = compile_hidisc(w.program, MachineConfig(),
+                              probable_miss_pcs=set())
+        check_ap_executable(comp.decoupled)
+
+    def test_deterministic_build(self, name):
+        a = get_workload(name, quick=True, seed=7)
+        b = get_workload(name, quick=True, seed=7)
+        assert len(a.program.text) == len(b.program.text)
+        assert bytes(a.program.data) == bytes(b.program.data)
+
+    def test_seed_changes_data(self, name):
+        a = get_workload(name, quick=True, seed=1)
+        b = get_workload(name, quick=True, seed=2)
+        assert bytes(a.program.data) != bytes(b.program.data)
+
+    def test_warmup_fraction_sane(self, name):
+        assert 0.0 <= QUICK[name].warmup_fraction < 1.0
+
+
+class TestVerifyRejectsCorruption:
+    def test_detects_wrong_output(self):
+        w = FieldWorkload(n=400)
+        state = FunctionalSimulator(w.program).run()
+        addr = w.program.data_symbols["out"]
+        state.memory.store(addr, 10**6, 8)
+        with pytest.raises(WorkloadError):
+            w.verify(state)
+
+    def test_detects_wrong_array(self):
+        w = NeighborhoodWorkload(size=16)
+        state = FunctionalSimulator(w.program).run()
+        addr = w.program.data_symbols["hist"]
+        state.memory.store(addr, 10**6, 8)
+        with pytest.raises(WorkloadError):
+            w.verify(state)
+
+    def test_unknown_symbol(self):
+        class Broken(FieldWorkload):
+            def expected_outputs(self):
+                return {"no_such_symbol": 1}
+
+        w = Broken(n=100)
+        state = FunctionalSimulator(w.program).run()
+        with pytest.raises(WorkloadError):
+            w.verify(state)
+
+
+class TestAccessCharacter:
+    """Each benchmark must exhibit its paper-described access pattern."""
+
+    def _miss_rate(self, workload):
+        config = MachineConfig()
+        trace, _ = generate_trace(workload.program)
+        profile = profile_cache(workload.program, trace, config)
+        return profile.miss_rate
+
+    def test_pointer_misses_more_than_field(self):
+        pointer = PointerWorkload(n=16384, sequences=200, hops=4,
+                                  hot=1024, hot_fraction=0.2)
+        field = FieldWorkload(n=1500)
+        assert self._miss_rate(pointer) > 4 * self._miss_rate(field)
+
+    def test_field_is_regular(self):
+        assert self._miss_rate(FieldWorkload(n=2000)) < 0.05
+
+    def test_update_writes_back(self):
+        w = UpdateWorkload(n=4096, sequences=50, hops=4)
+        trace, _ = generate_trace(w.program)
+        stores = sum(1 for d in trace if w.program.text[d.pc].is_store)
+        assert stores >= 200  # one RMW store per hop
+
+    def test_dm_walks_chains(self):
+        w = DmWorkload(n=1024, buckets=64, queries=100)
+        trace, _ = generate_trace(w.program)
+        loads = sum(1 for d in trace if w.program.text[d.pc].is_load)
+        # >= 2 loads per query (query key + head) plus chain walking.
+        assert loads > 2 * 100
+
+    def test_raytrace_is_fp_heavy(self):
+        w = RayTraceWorkload(spheres=64, rays=1)
+        fp = sum(1 for i in w.program.text if i.op.info.is_fp)
+        assert fp >= 10
+
+    def test_transitive_touches_matrix(self):
+        w = TransitiveWorkload(n=12, kiters=1)
+        state = FunctionalSimulator(w.program).run()
+        w.verify(state)
+        expected = w.expected_outputs()["dist"]
+        assert expected.shape == (12, 12)
+        # the closure must actually relax something
+        assert (expected != w._matrix).any()
+
+
+class TestRegistry:
+    def test_class_order_matches_paper(self):
+        assert [c.name for c in WORKLOAD_CLASSES] == [
+            "dm", "raytrace", "pointer", "update", "field",
+            "neighborhood", "transitive",
+        ]
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("bogus")
+
+    def test_quick_smaller_than_full(self):
+        for quick, full_cls in zip(quick_workloads(), WORKLOAD_CLASSES):
+            full = full_cls()
+            assert len(bytes(quick.program.data)) <= len(bytes(full.program.data))
+
+
+class TestGenerators:
+    def test_permutation_chain_is_single_cycle(self):
+        from repro.workloads.generators import permutation_chain
+
+        rng = np.random.default_rng(3)
+        field = permutation_chain(rng, 64)
+        w, seen = 0, set()
+        for _ in range(64):
+            assert w not in seen
+            seen.add(w)
+            w = int(field[w])
+        assert w == 0 and len(seen) == 64
+
+    def test_segmented_chain_respects_segments(self):
+        from repro.workloads.generators import segmented_chain
+
+        rng = np.random.default_rng(3)
+        field = segmented_chain(rng, 128, 32)
+        assert (field[:32] < 32).all()
+        assert (field[32:] >= 32).all()
+
+    def test_mixed_starts_fractions(self):
+        from repro.workloads.generators import mixed_starts
+
+        rng = np.random.default_rng(3)
+        starts = mixed_starts(rng, 1000, 1 << 16, 1 << 10, 0.9)
+        hot = (starts < (1 << 10)).mean()
+        assert 0.85 < hot < 0.95
+
+    def test_hash_chains_reach_every_record(self):
+        from repro.workloads.generators import build_hash_chains
+
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 1 << 16, size=200, dtype=np.int64)
+        head, nxt = build_hash_chains(keys, 32)
+        visited = set()
+        for h in range(32):
+            p = int(head[h])
+            while p != -1:
+                assert p not in visited
+                visited.add(p)
+                p = int(nxt[p])
+        assert visited == set(range(200))
+
+    def test_distance_matrix_diagonal_zero(self):
+        from repro.workloads.generators import random_distance_matrix
+
+        rng = np.random.default_rng(3)
+        mat = random_distance_matrix(rng, 10)
+        assert (np.diag(mat) == 0).all()
+        assert (mat >= 0).all()
+
+    def test_rays_normalised(self):
+        from repro.workloads.generators import random_rays
+
+        rng = np.random.default_rng(3)
+        rays = random_rays(rng, 50)
+        norms = np.sqrt(rays["dx"]**2 + rays["dy"]**2 + rays["dz"]**2)
+        assert np.allclose(norms, 1.0)
