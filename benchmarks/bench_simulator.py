@@ -11,6 +11,7 @@ from repro.config import MachineConfig
 from repro.sim import Machine, generate_trace
 from repro.sim.functional import FunctionalSimulator
 from repro.slicer import compile_hidisc
+from repro.telemetry import MemorySink, Telemetry
 from repro.workloads import FieldWorkload
 
 
@@ -39,6 +40,41 @@ def test_timing_core_rate(benchmark):
     cycles = benchmark(run)
     benchmark.extra_info["cycles"] = cycles
     benchmark.extra_info["trace_length"] = len(trace)
+
+
+def test_timing_core_rate_telemetry_cpi(benchmark):
+    """CPI-stack collection enabled; compare against test_timing_core_rate
+    (telemetry off) — the disabled path above must stay within ~5% of the
+    pre-telemetry baseline, and this variant shows the cost of stacks."""
+    config = MachineConfig()
+    program = FieldWorkload(n=1200).program
+    trace, _ = generate_trace(program)
+
+    def run():
+        return Machine(config, program.copy(), trace, mode="superscalar",
+                       telemetry=Telemetry(cpi=True)).run().cycles
+
+    cycles = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+
+
+def test_timing_core_rate_telemetry_full(benchmark):
+    """Everything on: CPI stacks, event stream into a MemorySink, and
+    128-cycle occupancy sampling — the worst-case instrumented path."""
+    config = MachineConfig()
+    program = FieldWorkload(n=1200).program
+    trace, _ = generate_trace(program)
+
+    def run():
+        tel = Telemetry(sink=MemorySink(), cpi=True, sample_interval=128)
+        result = Machine(config, program.copy(), trace, mode="superscalar",
+                         telemetry=tel).run()
+        return result.cycles, len(tel.sink.events)
+
+    cycles, events = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["events"] = events
+    assert events > 0
 
 
 def test_compiler_cost(benchmark):

@@ -9,6 +9,7 @@ Package map:
 * :mod:`repro.sim` — functional and cycle-level timing simulation.
 * :mod:`repro.workloads` — the seven DIS benchmarks.
 * :mod:`repro.experiments` — the harness regenerating every table/figure.
+* :mod:`repro.telemetry` — event tracing, CPI stacks, occupancy sampling.
 
 Quickstart::
 
@@ -23,11 +24,18 @@ Quickstart::
 """
 
 from .asm import Program, ProgramBuilder, assemble
-from .config import FIGURE10_LATENCIES, CacheConfig, CoreConfig, MachineConfig
+from .config import (
+    FIGURE10_LATENCIES,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    TelemetryConfig,
+)
 from .errors import ReproError
 from .slicer import compile_hidisc
+from .telemetry import Telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheConfig",
@@ -37,6 +45,8 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "Telemetry",
+    "TelemetryConfig",
     "__version__",
     "assemble",
     "compile_hidisc",

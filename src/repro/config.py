@@ -139,6 +139,32 @@ class CmasConfig:
             raise ConfigError("max_contexts must be >= 1")
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs (see :mod:`repro.telemetry`).
+
+    This is declarative configuration only; the runtime collector object
+    (sink, sampler storage) is :class:`repro.telemetry.Telemetry`, built
+    from one of these with :meth:`repro.telemetry.Telemetry.from_config`.
+    """
+
+    #: collect per-core CPI stacks (exhaustive cycle attribution).
+    cpi: bool = True
+    #: occupancy-sampling period in cycles; 0 disables sampling.
+    sample_interval: int = 0
+    #: event-trace file format: Chrome ``trace_event`` JSON or JSONL.
+    trace_format: str = "chrome"
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ConfigError("sample_interval must be >= 0")
+        if self.trace_format not in ("chrome", "jsonl"):
+            raise ConfigError(
+                f"unknown trace format {self.trace_format!r} "
+                "(expected 'chrome' or 'jsonl')"
+            )
+
+
 # Table 1 cache defaults.
 DEFAULT_L1 = CacheConfig(sets=256, block_bytes=32, ways=4, latency=1, name="L1D")
 DEFAULT_L2 = CacheConfig(sets=1024, block_bytes=64, ways=4, latency=12, name="L2")

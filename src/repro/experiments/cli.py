@@ -1,10 +1,13 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate any table or figure of the paper,
+or profile a single run with the telemetry subsystem.
 
 Installed as the ``hidisc`` console script::
 
     hidisc table1
     hidisc figure8 --quick
     hidisc all --json results.json
+    hidisc stats --quick --bench pointer --model hidisc
+    hidisc trace --quick --bench pointer --out trace.json
 """
 
 from __future__ import annotations
@@ -12,16 +15,21 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..config import MachineConfig
+from ..config import MachineConfig, TelemetryConfig
+from ..telemetry import Telemetry
+from ..workloads import WORKLOADS_BY_NAME, get_workload
 from .figure8 import figure8
 from .figure9 import figure9
 from .figure10 import figure10
-from .reporting import write_json
+from .models import MODEL_ORDER
+from .reporting import render_run_stats, write_json
+from .runner import prepare, run_model
 from .suite import run_suite
 from .table1 import table1
 from .table2 import table2
 
-_COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all")
+_COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
+             "stats", "trace")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "(IPDPS 2003).",
     )
     parser.add_argument("command", choices=_COMMANDS,
-                        help="which table/figure to regenerate")
+                        help="which table/figure to regenerate, or "
+                             "'stats'/'trace' to profile one run")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down inputs (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=2003,
@@ -41,7 +50,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump raw results as JSON")
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress progress messages on stderr")
+    profiling = parser.add_argument_group(
+        "stats/trace options", "single-run telemetry (repro.telemetry)")
+    profiling.add_argument("--bench", default="pointer",
+                           choices=sorted(WORKLOADS_BY_NAME),
+                           help="benchmark to profile (default pointer)")
+    profiling.add_argument("--model", default="hidisc", choices=MODEL_ORDER,
+                           help="machine model to profile (default hidisc)")
+    profiling.add_argument("--out", metavar="PATH", default="hidisc_trace.json",
+                           help="trace output file (default hidisc_trace.json)")
+    profiling.add_argument("--format", dest="trace_format", default="chrome",
+                           choices=("chrome", "jsonl"),
+                           help="trace file format: Chrome/Perfetto "
+                                "trace_event JSON or JSONL (default chrome)")
+    profiling.add_argument("--sample-interval", type=_non_negative,
+                           default=128, metavar="CYCLES",
+                           help="occupancy sampling period in cycles, "
+                                "0 disables (default 128)")
     return parser
+
+
+def _non_negative(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _profile_single(args, config: MachineConfig, progress,
+                    telemetry: Telemetry):
+    """Shared stats/trace path: compile one benchmark, run one model."""
+    workload = get_workload(args.bench, quick=args.quick, seed=args.seed)
+    if progress:
+        progress(f"preparing {workload.name} ...")
+    compiled = prepare(workload, config)
+    if progress:
+        progress(f"  compiled in {compiled.prepare_seconds:.1f}s "
+                 f"({compiled.work} dynamic instructions); "
+                 f"simulating {args.model} ...")
+    return run_model(compiled, config, args.model, telemetry=telemetry)
+
+
+def _stats_payload(result, telemetry: Telemetry) -> dict:
+    return {
+        "machine": result.machine,
+        "benchmark": result.benchmark,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "work_instructions": result.work_instructions,
+        "committed": dict(result.committed),
+        "cpi_stacks": result.cpi_stacks,
+        "lod_cycles": result.loss_of_decoupling_cycles(),
+        "lod_breakdown": result.stall_breakdown(),
+        "l1": result.l1.as_dict(),
+        "l2": result.l2.as_dict(),
+        "cmas_threads_forked": result.cmas_threads_forked,
+        "cmas_threads_dropped": result.cmas_threads_dropped,
+        "samples": [s.as_dict() for s in telemetry.samples],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,12 +117,39 @@ def main(argv: list[str] | None = None) -> int:
         lambda msg: print(msg, file=sys.stderr, flush=True)
     )
 
+    payload: dict = {}
     if args.command == "table1":
         print("Table 1: Simulation parameters")
         print(table1(config))
-        return 0
+        payload["table1"] = [list(row) for row in config.describe()]
 
-    payload: dict = {}
+    if args.command == "stats":
+        telemetry = Telemetry.from_config(
+            TelemetryConfig(cpi=True, sample_interval=args.sample_interval)
+        )
+        result = _profile_single(args, config, progress, telemetry)
+        print(render_run_stats(result))
+        payload["stats"] = _stats_payload(result, telemetry)
+
+    if args.command == "trace":
+        telemetry = Telemetry.from_config(
+            TelemetryConfig(cpi=True, sample_interval=args.sample_interval,
+                            trace_format=args.trace_format),
+            trace_path=args.out,
+        )
+        result = _profile_single(args, config, progress, telemetry)
+        telemetry.close()
+        print(render_run_stats(result))
+        count = getattr(telemetry.sink, "event_count", None)
+        suffix = f" ({count} events)" if count is not None else ""
+        hint = (" — open in https://ui.perfetto.dev or chrome://tracing"
+                if args.trace_format == "chrome" else "")
+        print(f"\ntrace written to {args.out}{suffix}{hint}")
+        payload["trace"] = {"path": str(args.out),
+                            "format": args.trace_format,
+                            "events": count}
+        payload["stats"] = _stats_payload(result, telemetry)
+
     if args.command in ("table2", "figure8", "figure9", "all"):
         suite = run_suite(config, quick=args.quick, seed=args.seed,
                           progress=progress)

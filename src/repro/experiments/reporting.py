@@ -10,6 +10,7 @@ import json
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
+from ..telemetry.cpi import render_cpi_stacks  # noqa: F401  (re-export)
 from ..utils import format_table
 
 
@@ -61,3 +62,28 @@ def write_json(path: str | Path, payload: object) -> Path:
 def percent(value: float) -> str:
     """Format a ratio as a signed percentage ('+11.9%')."""
     return f"{(value - 1.0) * 100:+.1f}%"
+
+
+def render_run_stats(result) -> str:
+    """Full text report of one run: summary, CPI stack, LoD breakdown.
+
+    *result* is a :class:`repro.sim.RunResult`; the CPI-stack table is
+    rendered when the run was telemetry-enabled.
+    """
+    lines = [result.summary().strip(), ""]
+    if result.cpi_stacks:
+        lines.append(f"CPI stack ({result.cycles} cycles/core; "
+                     "components sum to cycles):")
+        lines.append(render_cpi_stacks(result.cpi_stacks, result.cycles))
+        lines.append("")
+    breakdown = result.stall_breakdown()
+    if any(any(v for v in per_core.values())
+           for per_core in breakdown.values()):
+        rows = [
+            [core, c["ldq_empty"], c["sdq_empty"], c["queue_full"]]
+            for core, c in breakdown.items()
+        ]
+        lines.append("Loss-of-decoupling stalls (cycles at retirement):")
+        lines.append(format_table(
+            ["core", "ldq_empty", "sdq_empty", "queue_full"], rows))
+    return "\n".join(lines)

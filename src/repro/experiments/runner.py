@@ -26,6 +26,7 @@ from ..sim import (
 )
 from ..sim.functional import DecoupledFunctionalSimulator, DynInstr, FunctionalSimulator
 from ..slicer import HidiscCompilation, compile_hidisc, validate_separation
+from ..telemetry import Telemetry
 from ..workloads import Workload, check_ap_executable
 
 
@@ -130,30 +131,34 @@ def prepare(workload: Workload, config: MachineConfig,
     )
 
 
-def run_model(cw: CompiledWorkload, config: MachineConfig,
-              mode: str) -> RunResult:
+def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
+              telemetry: Telemetry | None = None) -> RunResult:
     """Replay one compiled benchmark through one machine model."""
     comp = cw.compilation
     if mode == "superscalar":
         machine = Machine(config, comp.original, cw.trace, mode=mode,
                           work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_original)
+                          warmup_pos=cw.warmup_pos_original,
+                          telemetry=telemetry)
     elif mode == "cp_ap":
         machine = Machine(config, comp.decoupled, cw.decoupled_trace,
                           mode=mode, queue_plan=cw.queue_plan,
                           work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_decoupled)
+                          warmup_pos=cw.warmup_pos_decoupled,
+                          telemetry=telemetry)
     elif mode == "cp_cmp":
         machine = Machine(config, comp.original, cw.trace, mode=mode,
                           cmas_plan=cw.cmas_plan_original,
                           work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_original)
+                          warmup_pos=cw.warmup_pos_original,
+                          telemetry=telemetry)
     elif mode == "hidisc":
         machine = Machine(config, comp.decoupled, cw.decoupled_trace,
                           mode=mode, queue_plan=cw.queue_plan,
                           cmas_plan=cw.cmas_plan_decoupled,
                           work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_decoupled)
+                          warmup_pos=cw.warmup_pos_decoupled,
+                          telemetry=telemetry)
     else:
         raise SimulationError(f"unknown model {mode!r}")
     return machine.run()
@@ -179,9 +184,10 @@ class BenchmarkResults:
 
 def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
                   modes: tuple[str, ...] = ("superscalar", "cp_ap",
-                                            "cp_cmp", "hidisc")) -> BenchmarkResults:
+                                            "cp_cmp", "hidisc"),
+                  telemetry: Telemetry | None = None) -> BenchmarkResults:
     """Run *modes* on one compiled benchmark."""
     out = BenchmarkResults(compiled=cw)
     for mode in modes:
-        out.results[mode] = run_model(cw, config, mode)
+        out.results[mode] = run_model(cw, config, mode, telemetry=telemetry)
     return out

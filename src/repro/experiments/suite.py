@@ -14,6 +14,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from ..config import MachineConfig
+from ..telemetry import Telemetry
 from ..workloads import Workload, all_workloads, quick_workloads
 from .models import MODEL_ORDER
 from .runner import BenchmarkResults, CompiledWorkload, prepare, run_benchmark
@@ -57,6 +58,8 @@ class SuiteResult:
                     "l1_demand_miss_rate": result.l1_demand_miss_rate,
                     "speedup": result.speedup_over(bench.baseline),
                     "lod_cycles": result.loss_of_decoupling_cycles(),
+                    "lod_breakdown": result.stall_breakdown(),
+                    "cpi_stack": result.cpi_stacks,
                     "cmas_threads": result.cmas_threads_forked,
                 }
             out["benchmarks"][name] = entry
@@ -70,11 +73,20 @@ def run_suite(
     modes: tuple[str, ...] = MODEL_ORDER,
     workloads: Iterable[Workload] | None = None,
     progress: ProgressFn | None = None,
+    telemetry: Telemetry | None = None,
+    cpi_stacks: bool = True,
 ) -> SuiteResult:
-    """Prepare and simulate every benchmark on every model."""
+    """Prepare and simulate every benchmark on every model.
+
+    CPI stacks are collected by default (``cpi_stacks=True``) so the suite
+    JSON payload carries the cycle attribution of every run; pass an
+    explicit *telemetry* object instead for event tracing or sampling.
+    """
     config = config if config is not None else MachineConfig()
     if workloads is None:
         workloads = quick_workloads(seed) if quick else all_workloads(seed)
+    if telemetry is None and cpi_stacks:
+        telemetry = Telemetry(cpi=True)
     start = time.perf_counter()
     suite = SuiteResult(config=config, quick=quick)
     for workload in workloads:
@@ -86,7 +98,8 @@ def run_suite(
                 f"  compiled in {compiled.prepare_seconds:.1f}s "
                 f"({compiled.work} dynamic instructions); simulating ..."
             )
-        bench = run_benchmark(compiled, config, modes=modes)
+        bench = run_benchmark(compiled, config, modes=modes,
+                              telemetry=telemetry)
         suite.benchmarks[workload.name] = bench
         if progress:
             base = bench.baseline

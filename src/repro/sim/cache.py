@@ -49,6 +49,19 @@ class CacheStats:
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready counters (used by the `hidisc stats` payload)."""
+        return {
+            "demand_accesses": self.demand_accesses,
+            "demand_misses": self.demand_misses,
+            "demand_miss_rate": self.demand_miss_rate,
+            "prefetch_accesses": self.prefetch_accesses,
+            "prefetch_misses": self.prefetch_misses,
+            "writebacks": self.writebacks,
+            "evictions": self.evictions,
+            "useful_prefetch_hits": self.useful_prefetch_hits,
+        }
+
 
 @dataclass
 class _Line:

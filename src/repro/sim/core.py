@@ -27,6 +27,7 @@ from collections import deque
 from ..config import CoreConfig
 from ..isa.instruction import Instruction
 from ..isa.opcodes import FuClass, Op
+from ..telemetry.cpi import new_stack
 from .fu import FuPools
 
 _STORE_GRANULE = ~7  # memory dependences tracked at 8-byte granularity
@@ -36,7 +37,7 @@ class WindowEntry:
     """One in-flight instruction in a core's scheduling window."""
 
     __slots__ = ("gid", "pos", "instr", "addr", "deps", "min_ready",
-                 "issued", "is_prefetch")
+                 "issued", "is_prefetch", "wait_class")
 
     def __init__(self, gid: int, pos: int, instr: Instruction, addr: int,
                  deps: list[int], min_ready: int, is_prefetch: bool):
@@ -48,6 +49,10 @@ class WindowEntry:
         self.min_ready = min_ready
         self.issued = False
         self.is_prefetch = is_prefetch
+        #: CPI-stack bucket to charge while this entry stalls retirement
+        #: after issue ('mem_l1'/'mem_l2'/'mem_mem'; None means 'execute').
+        #: Only filled in when CPI telemetry is on.
+        self.wait_class: str | None = None
 
 
 class CoreStats:
@@ -86,6 +91,22 @@ class TimingCore:
         self.last_store: dict[int, int] = {}
         self.stats = CoreStats()
         self.is_prefetch_core = name == "CMP"
+        # Telemetry switches, latched once so the disabled hot path pays a
+        # single attribute test (the machine sets its _tel_* flags before
+        # constructing cores).
+        self._cpi_on: bool = getattr(machine, "_tel_cpi", False)
+        self._events_on: bool = getattr(machine, "_tel_events", False)
+        # CMAS copies on the CMP run outside the LDQ/SDQ protocol, so the
+        # CMP never moves queue occupancy.
+        self._q_track: bool = (getattr(machine, "_tel_queues", False)
+                               and not self.is_prefetch_core)
+        self._tel_issue: bool = self._events_on or self._q_track
+        self.cpi: dict[str, int] = new_stack()
+        self._last_bucket = "frontend"
+        self._committed_now = 0
+        l1 = machine.hierarchy.l1.config.latency
+        self._lat_l1 = l1
+        self._lat_l1l2 = l1 + machine.hierarchy.l2.config.latency
 
     # ------------------------------------------------------------------
     def queue_has_room(self, count: int = 1) -> bool:
@@ -160,6 +181,10 @@ class TimingCore:
             dest = instr.dest_reg()
             if dest is not None:
                 lw[dest] = gid
+            if self._q_track and instr.is_store and ann.sdq_data:
+                # The store's address sits in the SAQ from dispatch until
+                # the SDQ data arrives and the store issues.
+                machine.queue_delta("SAQ", 1, now)
             self.instr_queue.popleft()
             self.window.append(
                 WindowEntry(gid, pos, instr, dyn.addr, deps, min_ready,
@@ -206,14 +231,47 @@ class TimingCore:
                     # not wait for the fill, only for the L1 write port.
                     latency = hierarchy.l1.config.latency
                 self.stats.issued_mem += 1
+                if self._cpi_on:
+                    if latency <= self._lat_l1:
+                        entry.wait_class = "mem_l1"
+                    elif latency <= self._lat_l1l2:
+                        entry.wait_class = "mem_l2"
+                    else:
+                        entry.wait_class = "mem_mem"
             else:
                 latency = info.latency
             entry.issued = True
             complete_at[entry.gid] = now + latency
             issued += 1
+            if self._tel_issue:
+                self._on_issue(entry, info, now, latency)
             if entry.instr.is_control:
                 machine.note_branch_issue(entry.gid, now + latency)
         return issued
+
+    def _on_issue(self, entry: WindowEntry, info, now: int,
+                  latency: int) -> None:
+        """Telemetry tap at issue: event emission + queue-flow counters."""
+        machine = self.machine
+        instr = entry.instr
+        if self._events_on:
+            args = {"gid": entry.gid, "pos": entry.pos}
+            if info.is_load or info.is_store:
+                args["addr"] = entry.addr
+            machine.sink.duration(self.name, instr.op.mnemonic, now,
+                                  latency, args)
+        if self._q_track:
+            ann = instr.ann
+            if info.writes_ldq or (info.is_load and ann.to_ldq):
+                machine.queue_delta("LDQ", 1, now)
+            pops = int(info.reads_ldq) + int(ann.ldq_rs1) + int(ann.ldq_rs2)
+            if pops:
+                machine.queue_delta("LDQ", -pops, now)
+            if info.writes_sdq or ann.to_sdq:
+                machine.queue_delta("SDQ", 1, now)
+            elif info.is_store and ann.sdq_data:
+                machine.queue_delta("SDQ", -1, now)
+                machine.queue_delta("SAQ", -1, now)
 
     # ------------------------------------------------------------------
     def commit(self, now: int) -> int:
@@ -229,6 +287,7 @@ class TimingCore:
             window.popleft()
             committed += 1
         self.stats.committed += committed
+        self._committed_now = committed
         if committed == 0 and window:
             self.stats.stall_cycles += 1
             self._attribute_stall(window[0], now)
@@ -252,3 +311,63 @@ class TimingCore:
             self.stats.queue_full_stalls += 1
         elif head.instr.is_store and ann.sdq_data:
             self.stats.sdq_empty_stalls += 1
+
+    # ------------------------------------------------------------------
+    # CPI-stack accounting (telemetry; see repro.telemetry.cpi).
+    # ------------------------------------------------------------------
+    def reset_cpi(self) -> None:
+        self.cpi = new_stack()
+
+    def classify_cycle(self, now: int) -> None:
+        """Charge this cycle to exactly one CPI-stack component.
+
+        Called by the machine once per simulated cycle (the machine
+        replicates the last classification across dead-time clock skips,
+        where by construction nothing changes), so the components of
+        :attr:`cpi` always sum to the measured cycle count.
+        """
+        if self._committed_now:
+            self.cpi["base"] += 1
+            self._last_bucket = "base"
+            return
+        machine = self.machine
+        window = self.window
+        if not window:
+            if self.instr_queue:
+                bucket = "frontend"
+            elif machine.fetch_done:
+                bucket = "drained"
+            elif machine._waiting_branch is not None:
+                bucket = "branch_recovery"
+            else:
+                bucket = "instr_queue_empty"
+        else:
+            head = window[0]
+            if head.issued:
+                bucket = head.wait_class or "execute"
+            elif head.min_ready > now:
+                bucket = "frontend"
+            else:
+                complete_at = machine.complete_at
+                blocked = False
+                for dep in head.deps:
+                    t = complete_at[dep]
+                    if t is None or t > now:
+                        blocked = True
+                        break
+                if not blocked:
+                    bucket = "fu_contention"
+                else:
+                    info = head.instr.op.info
+                    ann = head.instr.ann
+                    if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+                        bucket = "ldq_empty"
+                    elif (info.writes_ldq or info.writes_sdq
+                          or ann.to_ldq or ann.to_sdq):
+                        bucket = "queue_full"
+                    elif head.instr.is_store and ann.sdq_data:
+                        bucket = "sdq_empty"
+                    else:
+                        bucket = "data_dep"
+        self.cpi[bucket] += 1
+        self._last_bucket = bucket

@@ -33,6 +33,7 @@ from ..config import MachineConfig
 from ..errors import SimulationError
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Op
+from ..telemetry import Telemetry
 from .branch import BranchPredictor
 from .core import TimingCore
 from .functional import DynInstr
@@ -59,6 +60,7 @@ class Machine:
         work_instructions: int | None = None,
         benchmark: str = "",
         warmup_pos: int = 0,
+        telemetry: Telemetry | None = None,
     ):
         if mode not in MODES:
             raise SimulationError(f"unknown machine mode {mode!r}")
@@ -83,6 +85,20 @@ class Machine:
         self.predictor = BranchPredictor(config.branch)
         self.ldq_capacity = config.queues.ldq_entries
         self.sdq_capacity = config.queues.sdq_entries
+
+        # Telemetry: latch the switches once so the disabled path costs a
+        # couple of local-variable tests per cycle (see repro.telemetry).
+        self.telemetry = telemetry
+        self._tel_cpi = telemetry is not None and telemetry.cpi
+        self._tel_events = telemetry is not None and telemetry.events_on
+        self.sink = telemetry.sink if self._tel_events else None
+        self._sampler = telemetry.new_sampler() if telemetry is not None else None
+        self._tel_queues = self._tel_events or self._sampler is not None
+        #: issue-time occupancy of the architectural queues (telemetry only;
+        #: the timing model itself carries queue state as dependence edges).
+        self.queue_occupancy: dict[str, int] = {"LDQ": 0, "SDQ": 0, "SAQ": 0}
+        if self._tel_events:
+            self.hierarchy.sink = self.sink
 
         cmas_extra = cmas_plan.total_prefetch_instructions if self.cmp_enabled else 0
         self.complete_at: list[int | None] = [None] * (len(trace) + cmas_extra)
@@ -131,6 +147,18 @@ class Machine:
         """Called by a core when a control instruction issues (no-op: the
         separator polls ``complete_at`` directly)."""
 
+    @property
+    def fetch_done(self) -> bool:
+        """True once the front end has consumed the whole trace."""
+        return self._fetch_pos >= len(self.trace)
+
+    def queue_delta(self, name: str, delta: int, now: int) -> None:
+        """Telemetry tap: a core moved LDQ/SDQ/SAQ occupancy by *delta*."""
+        occ = self.queue_occupancy[name] + delta
+        self.queue_occupancy[name] = occ
+        if self._tel_events:
+            self.sink.counter("queues", name, now, occ)
+
     # ------------------------------------------------------------------
     # Front end: fetch + separate + predict + trigger.
     # ------------------------------------------------------------------
@@ -168,6 +196,9 @@ class Machine:
             if instr.is_control and instr.op is not Op.HALT:
                 if self._predict(instr, dyn, pos):
                     self._waiting_branch = pos
+                    if self._tel_events:
+                        self.sink.instant("frontend", "mispredict", now,
+                                          {"pos": pos, "pc": dyn.pc})
                     break
         return fetched
 
@@ -188,6 +219,11 @@ class Machine:
             stats = CoreStats()
             stats.committed = core.stats.committed
             core.stats = stats
+            if self._tel_cpi:
+                # Reset CPI stacks with the cycle counter: classification of
+                # the current cycle happens later this iteration, so stacks
+                # cover exactly the measurement window.
+                core.reset_cpi()
 
     def _predict(self, instr: Instruction, dyn: DynInstr, pos: int) -> bool:
         """Consult/update the predictor; True if the front end must wait."""
@@ -206,8 +242,16 @@ class Machine:
             if not self.cmp.queue_has_room(len(thread.positions)):
                 self._threads_dropped += 1
                 self._next_cmas_gid += len(thread.positions)
+                if self._tel_events:
+                    self.sink.instant("CMP", "cmas_drop", now,
+                                      {"thread": index,
+                                       "instrs": len(thread.positions)})
                 continue
             self._threads_forked += 1
+            if self._tel_events:
+                self.sink.instant("CMP", "cmas_fork", now,
+                                  {"thread": index,
+                                   "instrs": len(thread.positions)})
             # Hardware context limit: thread i may not start before thread
             # (i - max_contexts) has finished.
             extra: tuple[int, ...] = ()
@@ -229,6 +273,8 @@ class Machine:
         n = len(self.trace)
         cores = self.cores
         dead_skips = 0
+        cpi_on = self._tel_cpi
+        sampler = self._sampler
         while True:
             progress = self._separator_step(now)
             for core in cores:
@@ -241,7 +287,14 @@ class Machine:
                 c.drained for c in cores if c.name != "CMP"
             )
             if main_done:
+                # The final cycle is the completion boundary, not a spent
+                # cycle: classifying it would make stacks sum to cycles + 1.
                 break
+            if cpi_on:
+                for core in cores:
+                    core.classify_cycle(now)
+            if sampler is not None and now >= sampler.next_at:
+                sampler.record(self, now)
             if progress == 0:
                 next_now = self._skip_to_next_event(now)
                 dead_skips = dead_skips + 1 if next_now == now + 1 else 0
@@ -250,6 +303,13 @@ class Machine:
                         f"{self.benchmark}: no progress for 1000 cycles on "
                         f"{self.mode} at cycle {now} — queue plan deadlock?"
                     )
+                if cpi_on and next_now > now + 1:
+                    # Dead-time skip: nothing changes between `now` and
+                    # `next_now`, so the skipped cycles repeat this cycle's
+                    # classification (keeps stacks summing to cycles).
+                    skipped = next_now - now - 1
+                    for core in cores:
+                        core.cpi[core._last_bucket] += skipped
                 now = next_now
             else:
                 dead_skips = 0
@@ -303,5 +363,9 @@ class Machine:
             core_stats={c.name: c.stats.as_dict() for c in self.cores},
             cmas_threads_forked=self._threads_forked,
             cmas_threads_dropped=self._threads_dropped,
+            cpi_stacks=(
+                {c.name: dict(c.cpi) for c in self.cores}
+                if self._tel_cpi else {}
+            ),
         )
         return result

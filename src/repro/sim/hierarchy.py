@@ -46,6 +46,9 @@ class MemoryHierarchy:
         self.l2 = Cache(l2)
         self.memory_latency = memory_latency
         self.stats = HierarchyStats()
+        #: Telemetry sink for fill/merge events (set by the owning machine
+        #: when event tracing is on; None keeps the hot path untouched).
+        self.sink = None
         #: L1-block address -> absolute cycle when the in-flight fill lands.
         self._inflight: dict[int, int] = {}
         #: blocks whose in-flight fill was initiated by a prefetch
@@ -101,6 +104,9 @@ class MemoryHierarchy:
                 stats.merged_misses += 1
                 if block in self._inflight_prefetch:
                     stats.late_prefetch_overlaps += 1
+            if self.sink is not None:
+                self.sink.instant("memory", "mshr_merge", now,
+                                  {"block": block, "prefetch": is_prefetch})
             return max(self.l1.config.latency, inflight_ready - now)
 
         if result.hit:
@@ -112,6 +118,12 @@ class MemoryHierarchy:
         self._inflight[block] = now + latency
         if is_prefetch:
             self._inflight_prefetch.add(block)
+        if self.sink is not None:
+            deep = latency > self.l1.config.latency + self.l2.config.latency
+            self.sink.duration(
+                "memory", "mem_fill" if deep else "L2_fill", now, latency,
+                {"block": block, "prefetch": is_prefetch},
+            )
         return latency
 
     def prefetch(self, address: int, now: int) -> int:
@@ -127,3 +139,9 @@ class MemoryHierarchy:
     def demand_miss_rate(self) -> float:
         """L1 demand miss rate (the quantity in the paper's Figure 9)."""
         return self.l1.stats.demand_miss_rate
+
+    def outstanding_misses(self, now: int | None = None) -> int:
+        """Fills currently in flight (for occupancy sampling)."""
+        if now is not None:
+            self._expire_inflight(now)
+        return len(self._inflight)

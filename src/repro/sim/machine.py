@@ -40,6 +40,10 @@ class RunResult:
     #: CMAS bookkeeping.
     cmas_threads_forked: int = 0
     cmas_threads_dropped: int = 0
+    #: Per-core CPI stacks (core name -> component -> cycles); populated
+    #: when the run was telemetry-enabled, empty otherwise.  Components
+    #: sum to :attr:`cycles` — see :mod:`repro.telemetry.cpi`.
+    cpi_stacks: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -74,10 +78,38 @@ class RunResult:
             total += stats.get("queue_full_stalls", 0)
         return total
 
+    def stall_breakdown(self) -> dict[str, dict[str, int]]:
+        """Per-core loss-of-decoupling composition (§5.3 taxonomy).
+
+        Maps core name to the three LoD stall counters, so trajectories can
+        track *which* synchronisation mechanism caps the speedup, not just
+        the :meth:`loss_of_decoupling_cycles` sum.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for core, stats in self.core_stats.items():
+            out[core] = {
+                "ldq_empty": stats.get("ldq_empty_stalls", 0),
+                "sdq_empty": stats.get("sdq_empty_stalls", 0),
+                "queue_full": stats.get("queue_full_stalls", 0),
+            }
+        return out
+
     def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (
+        """One-line human-readable summary (with LoD composition)."""
+        line = (
             f"{self.benchmark:>14s} on {self.machine:<11s}: "
             f"{self.cycles:>9d} cycles, IPC {self.ipc:5.3f}, "
             f"L1 demand miss rate {self.l1_demand_miss_rate:6.4f}"
         )
+        lod = self.loss_of_decoupling_cycles()
+        if lod:
+            parts = {"ldq_empty": 0, "sdq_empty": 0, "queue_full": 0}
+            for per_core in self.stall_breakdown().values():
+                for key, value in per_core.items():
+                    parts[key] += value
+            composition = "/".join(
+                f"{key.split('_')[0]} {value}"
+                for key, value in parts.items() if value
+            )
+            line += f", LoD {lod} ({composition})"
+        return line

@@ -30,6 +30,15 @@ class QueueStats:
     full_stall_cycles: int = 0
     empty_stall_cycles: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "max_occupancy": self.max_occupancy,
+            "full_stall_cycles": self.full_stall_cycles,
+            "empty_stall_cycles": self.empty_stall_cycles,
+        }
+
 
 class ArchQueue:
     """A bounded FIFO with statistics."""
@@ -41,6 +50,18 @@ class ArchQueue:
         self.capacity = capacity
         self._items: deque = deque()
         self.stats = QueueStats()
+        self._sink = None
+        self._sink_track = "queues"
+        self._ops = 0
+
+    def attach_sink(self, sink, track: str = "queues") -> None:
+        """Mirror occupancy to a telemetry sink as a counter track.
+
+        Functional execution has no clock, so the counter timestamp is the
+        running push+pop operation count (monotonic, one tick per queue op).
+        """
+        self._sink = sink if (sink is not None and sink.enabled) else None
+        self._sink_track = track
 
     def __len__(self) -> int:
         return len(self._items)
@@ -68,6 +89,10 @@ class ArchQueue:
         self.stats.pushes += 1
         if len(self._items) > self.stats.max_occupancy:
             self.stats.max_occupancy = len(self._items)
+        if self._sink is not None:
+            self._ops += 1
+            self._sink.counter(self._sink_track, self.name, self._ops,
+                               len(self._items))
         return item
 
     def pop(self):
@@ -75,7 +100,12 @@ class ArchQueue:
         if not self._items:
             raise QueueProtocolError(f"pop on empty queue {self.name}")
         self.stats.pops += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self._sink is not None:
+            self._ops += 1
+            self._sink.counter(self._sink_track, self.name, self._ops,
+                               len(self._items))
+        return item
 
     def peek(self):
         """Head element without removing it; raises if empty."""

@@ -1,0 +1,58 @@
+"""Cycle-level telemetry: event tracing, CPI stacks, occupancy timelines.
+
+Typical use::
+
+    from repro.telemetry import Telemetry, ChromeTraceSink
+
+    tel = Telemetry(sink=ChromeTraceSink("run.json"), cpi=True,
+                    sample_interval=128)
+    result = Machine(config, program, trace, mode="hidisc",
+                     queue_plan=qplan, cmas_plan=cplan,
+                     telemetry=tel).run()
+    tel.close()                      # writes run.json (open in Perfetto)
+    print(result.cpi_stacks)         # components sum to result.cycles
+
+See :mod:`repro.telemetry.cpi` for the cycle taxonomy and
+:mod:`repro.telemetry.sinks` for the available sinks.
+"""
+
+from .cpi import (
+    CPI_COMPONENTS,
+    LOD_COMPONENTS,
+    MEMORY_COMPONENTS,
+    check_stack,
+    new_stack,
+    render_cpi_stacks,
+    stack_total,
+)
+from .events import Telemetry
+from .sampler import Sample, Sampler
+from .sinks import (
+    NULL_SINK,
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TeeSink,
+)
+
+__all__ = [
+    "CPI_COMPONENTS",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "LOD_COMPONENTS",
+    "MEMORY_COMPONENTS",
+    "MemorySink",
+    "NULL_SINK",
+    "NullSink",
+    "Sample",
+    "Sampler",
+    "Sink",
+    "TeeSink",
+    "Telemetry",
+    "check_stack",
+    "new_stack",
+    "render_cpi_stacks",
+    "stack_total",
+]

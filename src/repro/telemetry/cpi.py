@@ -1,0 +1,106 @@
+"""CPI stacks: an exhaustive per-core cycle taxonomy.
+
+Every simulated cycle of every core is attributed to exactly one component,
+so the components of a core's stack **sum to the measured cycle count** —
+the invariant the tests assert and the property that makes the stack a
+trustworthy answer to "where did the cycles go?".
+
+Components (one per cycle, classified at the retirement stage):
+
+===================  =========================================================
+``base``             at least one instruction retired this cycle
+``frontend``         window empty/head not yet eligible: dispatch/fetch latency
+``fu_contention``    head ready but starved of an FU, memory port or issue slot
+``execute``          head issued in a multi-cycle non-memory FU, not yet done
+``mem_l1``           head waiting on an L1 hit / store-buffer write port
+``mem_l2``           head waiting on an L1-miss-L2-hit fill
+``mem_mem``          head waiting on a fill from main memory
+``branch_recovery``  core idle while the front end replays a mispredict
+``ldq_empty``        head pops the LDQ before the AP pushed (LoD)
+``sdq_empty``        head is a store awaiting its SDQ data from the CP (LoD)
+``queue_full``       head pushes into a full architectural queue (LoD)
+``data_dep``         head blocked on an ordinary register/memory dependence
+``instr_queue_empty``core idle: the front end has not routed it any work
+``drained``          core idle and the fetch stream is exhausted (run tail)
+===================  =========================================================
+
+The three ``ldq_empty``/``sdq_empty``/``queue_full`` components are the
+loss-of-decoupling taxonomy the paper discusses in §5.3 — the same events
+the legacy ``CoreStats`` counters track — extended here into a complete
+accounting of all cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+#: Canonical component order (presentation order for stacks and tables).
+CPI_COMPONENTS: tuple[str, ...] = (
+    "base",
+    "frontend",
+    "fu_contention",
+    "execute",
+    "mem_l1",
+    "mem_l2",
+    "mem_mem",
+    "branch_recovery",
+    "ldq_empty",
+    "sdq_empty",
+    "queue_full",
+    "data_dep",
+    "instr_queue_empty",
+    "drained",
+)
+
+#: Components counted as loss-of-decoupling in the paper's §5.3 sense.
+LOD_COMPONENTS: tuple[str, ...] = ("ldq_empty", "sdq_empty", "queue_full")
+
+#: Components spent waiting on the memory hierarchy.
+MEMORY_COMPONENTS: tuple[str, ...] = ("mem_l1", "mem_l2", "mem_mem")
+
+
+def new_stack() -> dict[str, int]:
+    """A zeroed CPI stack (plain dict: the timing hot path increments it)."""
+    return dict.fromkeys(CPI_COMPONENTS, 0)
+
+
+def stack_total(stack: Mapping[str, int]) -> int:
+    return sum(stack.values())
+
+
+def check_stack(stack: Mapping[str, int], cycles: int, core: str = "?") -> None:
+    """Raise if the components do not sum to *cycles* (test/debug helper)."""
+    total = stack_total(stack)
+    if total != cycles:
+        raise AssertionError(
+            f"CPI stack of {core} sums to {total}, expected {cycles} "
+            f"(delta {total - cycles}): {dict(stack)}"
+        )
+
+
+def render_cpi_stacks(stacks: Mapping[str, Mapping[str, int]],
+                      cycles: int) -> str:
+    """ASCII CPI-stack table: one column per core, cycles and % of total."""
+    from ..utils import format_table
+
+    cores = list(stacks)
+    if not cores or cycles <= 0:
+        return "(no CPI data — run with telemetry enabled)"
+    headers = ["component"]
+    for core in cores:
+        headers += [core, "%"]
+    rows: list[list[object]] = []
+    for comp in CPI_COMPONENTS:
+        if all(stacks[core].get(comp, 0) == 0 for core in cores):
+            continue
+        row: list[object] = [comp]
+        for core in cores:
+            v = stacks[core].get(comp, 0)
+            row += [v, f"{100.0 * v / cycles:5.1f}"]
+        rows.append(row)
+    total_row: list[object] = ["total"]
+    for core in cores:
+        t = stack_total(stacks[core])
+        total_row += [t, f"{100.0 * t / cycles:5.1f}"]
+    rows.append(total_row)
+    return format_table(headers, rows)

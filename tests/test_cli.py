@@ -10,7 +10,8 @@ from repro.experiments.cli import build_parser, main
 class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
-        for cmd in ("table1", "table2", "figure8", "figure9", "figure10", "all"):
+        for cmd in ("table1", "table2", "figure8", "figure9", "figure10",
+                    "all", "stats", "trace"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_unknown_command_rejected(self):
@@ -23,12 +24,61 @@ class TestParser:
         )
         assert args.quick and args.seed == 9 and args.json == "x.json"
 
+    def test_profiling_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "--bench", "field", "--model", "cp_ap",
+             "--out", "t.json", "--format", "jsonl",
+             "--sample-interval", "64"]
+        )
+        assert args.bench == "field" and args.model == "cp_ap"
+        assert args.out == "t.json" and args.trace_format == "jsonl"
+        assert args.sample_interval == 64
+
+    def test_bad_bench_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--bench", "nosuch"])
+
 
 class TestExecution:
     def test_table1_runs(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "bimodal" in out
+
+    def test_table1_json(self, capsys, tmp_path):
+        # regression: --json used to be silently ignored for table1
+        json_path = tmp_path / "t1.json"
+        assert main(["table1", "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(json_path.read_text())
+        rows = payload["table1"]
+        assert rows and all(len(row) == 2 for row in rows)
+        assert any("bimodal" in str(v) for row in rows for v in row)
+
+    def test_stats_quick(self, capsys, tmp_path):
+        json_path = tmp_path / "stats.json"
+        assert main(["stats", "--quick", "--no-progress", "--bench", "field",
+                     "--model", "hidisc", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "CPI stack" in out and "components sum to cycles" in out
+        payload = json.loads(json_path.read_text())["stats"]
+        cycles = payload["cycles"]
+        stacks = payload["cpi_stacks"]
+        assert set(stacks) == {"CP", "AP", "CMP"}
+        for stack in stacks.values():
+            assert sum(stack.values()) == cycles
+        assert payload["samples"], "sampler timeseries missing"
+
+    def test_trace_quick(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "--quick", "--no-progress", "--bench", "field",
+                     "--model", "superscalar", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "perfetto" in out
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "C" for e in events)
 
     def test_figure10_quick_with_json(self, capsys, tmp_path, monkeypatch):
         # restrict the sweep via monkeypatching to keep this test fast
