@@ -86,6 +86,39 @@ def test_compiler_cost(benchmark):
     assert comp.report()["static_instructions"] == len(program.text)
 
 
+def test_prepare_cold_no_cache(benchmark):
+    """Cold compilation cost of one benchmark (no run cache) — the
+    baseline the warm-cache variant below is compared against."""
+    config = MachineConfig()
+
+    def run():
+        from repro.experiments import prepare
+
+        return prepare(FieldWorkload(n=1200), config).work
+
+    work = benchmark(run)
+    assert work > 0
+
+
+def test_prepare_warm_run_cache(benchmark, tmp_path):
+    """Warm-cache compilation: after one priming call, every iteration is
+    a content-addressed disk hit (unpickle) instead of a recompile.  The
+    gap between this and test_prepare_cold_no_cache is what the run cache
+    buys each suite/figure10 invocation."""
+    from repro.experiments import RunCache, prepare_cached
+
+    config = MachineConfig()
+    cache = RunCache(tmp_path / "cache")
+    prepare_cached(FieldWorkload(n=1200), config, cache)  # prime
+
+    def run():
+        return prepare_cached(FieldWorkload(n=1200), config, cache).work
+
+    work = benchmark(run)
+    benchmark.extra_info["cache_hits"] = cache.hits
+    assert work > 0 and cache.hits > 0
+
+
 def test_cache_access_rate(benchmark):
     from repro.sim.cache import Cache
 

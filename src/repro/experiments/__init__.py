@@ -5,13 +5,17 @@
 * :mod:`repro.experiments.table2` — mean speed-up per model.
 * :mod:`repro.experiments.figure9` — L1 miss-rate reduction.
 * :mod:`repro.experiments.figure10` — IPC vs memory latency.
+* :mod:`repro.experiments.cache` — persistent compilation (run) cache.
+* :mod:`repro.experiments.parallel` — process-pool grid execution.
 * :mod:`repro.experiments.cli` — the ``hidisc`` command.
 """
 
+from .cache import RunCache, compile_key, prepare_cached
 from .figure8 import Figure8, figure8
 from .figure9 import Figure9, figure9
 from .figure10 import FIGURE10_BENCHMARKS, Figure10, figure10
 from .models import MODEL_LABELS, MODEL_ORDER, PAPER
+from .parallel import Task, run_tasks
 from .runner import (
     BenchmarkResults,
     CompiledWorkload,
@@ -33,15 +37,20 @@ __all__ = [
     "MODEL_LABELS",
     "MODEL_ORDER",
     "PAPER",
+    "RunCache",
     "SuiteResult",
     "Table2",
+    "Task",
+    "compile_key",
     "figure10",
     "figure8",
     "figure9",
     "prepare",
+    "prepare_cached",
     "run_benchmark",
     "run_model",
     "run_suite",
+    "run_tasks",
     "table1",
     "table2",
 ]

@@ -1,0 +1,227 @@
+"""Persistent run cache: content-addressed store for compiled workloads.
+
+``prepare()`` is the expensive, latency-independent half of every
+experiment (functional execution, HiDISC compilation, decoupled trace
+generation, queue/CMAS planning).  Its output depends only on the workload
+identity, the machine configuration, and the package version — so it can
+be memoized on disk and shared between ``run_suite``, ``figure10``, the
+single-run ``stats``/``trace`` commands, and repeated invocations.
+
+Design:
+
+* **Content-addressed keys.**  :func:`compile_key` hashes the workload's
+  class and scalar construction parameters (name, seed, and the size
+  parameters that distinguish ``--quick`` from paper-scale inputs), the
+  full ``repr`` of the frozen :class:`~repro.config.MachineConfig` (so a
+  changed CMAS trigger distance or latency point misses), and
+  ``repro.__version__`` (so upgrades never replay stale compilations).
+* **Atomic writes.**  Entries are pickled to a temporary file in the cache
+  directory and ``os.replace``-d into place, so concurrent workers (the
+  parallel grid runs one ``prepare`` per process) and interrupted runs can
+  never publish a half-written entry.
+* **Corruption tolerance.**  A load that fails to read, unpickle, or match
+  its fingerprint is treated as a miss: the bad file is deleted and the
+  caller recomputes.  The cache is an accelerator, never a correctness
+  dependency.
+
+The CLI exposes the store as ``hidisc cache stats`` / ``hidisc cache
+clear`` and every experiment command honours ``--no-cache`` and
+``--cache-dir`` (default ``$HIDISC_CACHE_DIR``, falling back to
+``~/.cache/hidisc``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..config import MachineConfig
+from ..workloads import Workload
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV = "HIDISC_CACHE_DIR"
+
+#: Suffix of cache entry files.
+ENTRY_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> Path:
+    """``$HIDISC_CACHE_DIR``, else ``$XDG_CACHE_HOME/hidisc``, else
+    ``~/.cache/hidisc``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "hidisc"
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Deterministic identity of one workload instance.
+
+    Covers the class and every scalar constructor attribute — which
+    includes ``seed`` and the size parameters, so quick and paper-scale
+    instances of the same benchmark never collide.  (Generated data arrays
+    are derived deterministically from these scalars and need not be
+    hashed.)
+    """
+    cls = type(workload)
+    params = {
+        key: value
+        for key, value in sorted(vars(workload).items())
+        if isinstance(value, (bool, int, float, str))
+    }
+    return f"{cls.__module__}.{cls.__qualname__}:{workload.name}:{params!r}"
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Deterministic identity of a machine configuration.
+
+    ``MachineConfig`` is a tree of frozen dataclasses, so ``repr`` is a
+    complete, stable rendering of every field (cache geometry, latencies,
+    CMAS trigger distance, per-core resources, ...).
+    """
+    return repr(config)
+
+
+def compile_key(workload: Workload, config: MachineConfig) -> str:
+    """Content-addressed cache key for ``prepare(workload, config)``."""
+    from .. import __version__
+
+    text = "\x1f".join(
+        ("hidisc-compile", __version__,
+         workload_fingerprint(workload), config_fingerprint(config))
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """On-disk store of :class:`~repro.experiments.runner.CompiledWorkload`
+    entries, keyed by :func:`compile_key`.
+
+    Instances also count their own traffic (hits/misses/stores/corrupt
+    evictions) for ``hidisc cache stats`` and tests.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{ENTRY_SUFFIX}"
+
+    def load(self, key: str):
+        """Return the cached object for *key*, or ``None`` on miss.
+
+        Unreadable, unpicklable or wrongly-fingerprinted entries are
+        deleted and reported as misses — the caller recomputes.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            obj = pickle.loads(blob)
+        except Exception:
+            obj = None
+        if obj is None or getattr(obj, "fingerprint", None) != key:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return obj
+
+    def store(self, key: str, obj) -> None:
+        """Atomically persist *obj* under *key* (write temp + rename).
+
+        Best-effort: an unwritable cache directory degrades to a no-op
+        rather than failing the experiment.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root,
+                                       suffix=ENTRY_SUFFIX + ".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path_for(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Entry files currently in the store (sorted for determinism)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*{ENTRY_SUFFIX}"))
+
+    def stats(self) -> dict:
+        """Store contents + this instance's traffic counters."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; return how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def prepare_cached(workload: Workload, config: MachineConfig,
+                   cache: RunCache | None = None):
+    """:func:`~repro.experiments.runner.prepare`, memoized through *cache*.
+
+    ``cache=None`` means no caching (plain ``prepare``).  On a hit the
+    stored :class:`CompiledWorkload` is returned with ``prepare_seconds``
+    reflecting the original compilation, so reports stay meaningful.
+    """
+    from .runner import prepare
+
+    if cache is None:
+        return prepare(workload, config)
+    key = compile_key(workload, config)
+    compiled = cache.load(key)
+    if compiled is not None:
+        return compiled
+    compiled = prepare(workload, config)
+    cache.store(key, compiled)
+    return compiled

@@ -5,9 +5,17 @@ Installed as the ``hidisc`` console script::
 
     hidisc table1
     hidisc figure8 --quick
-    hidisc all --json results.json
+    hidisc all --json results.json --jobs 4
+    hidisc suite --quick --jobs 2
     hidisc stats --quick --bench pointer --model hidisc
     hidisc trace --quick --bench pointer --out trace.json
+    hidisc cache stats
+    hidisc cache clear
+
+Experiment commands run compilations through a persistent on-disk cache
+(``--cache-dir``, default ``$HIDISC_CACHE_DIR`` or ``~/.cache/hidisc``;
+``--no-cache`` disables it) and fan the simulation grid out over worker
+processes with ``--jobs N`` (0 = all CPUs).
 """
 
 from __future__ import annotations
@@ -18,18 +26,21 @@ import sys
 from ..config import MachineConfig, TelemetryConfig
 from ..telemetry import Telemetry
 from ..workloads import WORKLOADS_BY_NAME, get_workload
+from .cache import RunCache, prepare_cached
 from .figure8 import figure8
 from .figure9 import figure9
 from .figure10 import figure10
 from .models import MODEL_ORDER
 from .reporting import render_run_stats, write_json
-from .runner import prepare, run_model
+from .runner import run_model
 from .suite import run_suite
 from .table1 import table1
 from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
-             "stats", "trace")
+             "suite", "stats", "trace", "cache")
+
+_CACHE_ACTIONS = ("stats", "clear")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,8 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "(IPDPS 2003).",
     )
     parser.add_argument("command", choices=_COMMANDS,
-                        help="which table/figure to regenerate, or "
-                             "'stats'/'trace' to profile one run")
+                        help="which table/figure to regenerate, 'suite' for "
+                             "the raw benchmark grid, 'stats'/'trace' to "
+                             "profile one run, or 'cache' to manage the "
+                             "run cache")
+    parser.add_argument("cache_action", nargs="?", choices=_CACHE_ACTIONS,
+                        help="for 'hidisc cache': 'stats' (default) or "
+                             "'clear'")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down inputs (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=2003,
@@ -50,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also dump raw results as JSON")
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress progress messages on stderr")
+    parser.add_argument("--jobs", type=_non_negative, default=1,
+                        metavar="N",
+                        help="worker processes for the experiment grid "
+                             "(default 1 = serial, 0 = all CPUs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent compilation cache")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="run-cache directory (default $HIDISC_CACHE_DIR "
+                             "or ~/.cache/hidisc)")
     profiling = parser.add_argument_group(
         "stats/trace options", "single-run telemetry (repro.telemetry)")
     profiling.add_argument("--bench", default="pointer",
@@ -78,12 +103,12 @@ def _non_negative(text: str) -> int:
 
 
 def _profile_single(args, config: MachineConfig, progress,
-                    telemetry: Telemetry):
+                    telemetry: Telemetry, cache: RunCache | None):
     """Shared stats/trace path: compile one benchmark, run one model."""
     workload = get_workload(args.bench, quick=args.quick, seed=args.seed)
     if progress:
         progress(f"preparing {workload.name} ...")
-    compiled = prepare(workload, config)
+    compiled = prepare_cached(workload, config, cache)
     if progress:
         progress(f"  compiled in {compiled.prepare_seconds:.1f}s "
                  f"({compiled.work} dynamic instructions); "
@@ -111,13 +136,30 @@ def _stats_payload(result, telemetry: Telemetry) -> dict:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_action is not None and args.command != "cache":
+        parser.error(f"'{args.cache_action}' is only valid after 'cache'")
     config = MachineConfig()
     progress = None if args.no_progress else (
         lambda msg: print(msg, file=sys.stderr, flush=True)
     )
+    cache = None if args.no_cache else RunCache(args.cache_dir)
 
     payload: dict = {}
+    if args.command == "cache":
+        cache = RunCache(args.cache_dir)
+        if args.cache_action == "clear":
+            removed = cache.clear()
+            print(f"cache cleared: {removed} entries removed from "
+                  f"{cache.root}")
+            payload["cache"] = {"cleared": removed, "root": str(cache.root)}
+        else:
+            stats = cache.stats()
+            print(f"cache at {stats['root']}: {stats['entries']} entries, "
+                  f"{stats['total_bytes']} bytes")
+            payload["cache"] = stats
+
     if args.command == "table1":
         print("Table 1: Simulation parameters")
         print(table1(config))
@@ -127,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         telemetry = Telemetry.from_config(
             TelemetryConfig(cpi=True, sample_interval=args.sample_interval)
         )
-        result = _profile_single(args, config, progress, telemetry)
+        result = _profile_single(args, config, progress, telemetry, cache)
         print(render_run_stats(result))
         payload["stats"] = _stats_payload(result, telemetry)
 
@@ -137,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
                             trace_format=args.trace_format),
             trace_path=args.out,
         )
-        result = _profile_single(args, config, progress, telemetry)
+        result = _profile_single(args, config, progress, telemetry, cache)
         telemetry.close()
         print(render_run_stats(result))
         count = getattr(telemetry.sink, "event_count", None)
@@ -150,10 +192,18 @@ def main(argv: list[str] | None = None) -> int:
                             "events": count}
         payload["stats"] = _stats_payload(result, telemetry)
 
-    if args.command in ("table2", "figure8", "figure9", "all"):
+    if args.command in ("table2", "figure8", "figure9", "all", "suite"):
         suite = run_suite(config, quick=args.quick, seed=args.seed,
-                          progress=progress)
+                          progress=progress, jobs=args.jobs, cache=cache)
         payload["suite"] = suite.to_payload()
+        if args.command == "suite":
+            for bench in suite.benchmarks.values():
+                for result in bench.results.values():
+                    print(result.summary())
+            print(f"\nsuite of {len(suite.benchmarks)} benchmarks in "
+                  f"{suite.elapsed_seconds:.1f}s "
+                  f"(mean HiDISC speedup "
+                  f"{suite.mean_speedup('hidisc'):.3f})")
         if args.command in ("figure8", "all"):
             print(figure8(suite).render())
             print()
@@ -170,7 +220,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("figure10", "all"):
         fig10 = figure10(config, quick=args.quick, seed=args.seed,
-                         progress=progress, compiled=compiled)
+                         progress=progress, compiled=compiled,
+                         jobs=args.jobs, cache=cache)
         payload["figure10"] = {
             "latencies": list(fig10.latencies),
             "ipc": fig10.ipc,

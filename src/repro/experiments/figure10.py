@@ -16,9 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import FIGURE10_LATENCIES, MachineConfig
+from ..errors import SimulationError
+from .cache import RunCache, compile_key
 from .models import MODEL_LABELS, MODEL_ORDER, PAPER
 from .reporting import render_table
-from .runner import CompiledWorkload, prepare, run_model
+from .runner import CompiledWorkload, run_model
 from .suite import ProgressFn
 
 #: Benchmarks the paper sweeps.
@@ -75,24 +77,87 @@ def figure10(
     modes: tuple[str, ...] = MODEL_ORDER,
     progress: ProgressFn | None = None,
     compiled: dict[str, CompiledWorkload] | None = None,
+    jobs: int = 1,
+    cache: RunCache | None = None,
+    task_timeout: float | None = None,
 ) -> Figure10:
     """Run the latency sweep.
 
     Pass *compiled* (name -> :class:`CompiledWorkload`) to reuse
-    preparations from a prior suite run.
+    preparations from a prior suite run — each entry's fingerprint is
+    checked against the sweep's own (config, quick, seed), and a mismatch
+    raises :class:`SimulationError` rather than silently replaying a
+    compilation prepared under different settings (stale CMAS trigger
+    distance, wrong workload size, ...).
+
+    ``jobs > 1`` fans preparation and the (benchmark, latency, model)
+    cells out over worker processes; *cache* memoizes compilations.
     """
     base_config = config if config is not None else MachineConfig()
     from ..workloads import get_workload
 
-    out = Figure10(latencies=latencies)
-    for name in benchmarks:
-        if compiled is not None and name in compiled:
-            cw = compiled[name]
+    workloads = [get_workload(name, quick=quick, seed=seed)
+                 for name in benchmarks]
+    by_name: dict[str, CompiledWorkload] = {}
+    missing = []
+    for workload in workloads:
+        expected = compile_key(workload, base_config)
+        if compiled is not None and workload.name in compiled:
+            cw = compiled[workload.name]
+            if cw.fingerprint != expected:
+                raise SimulationError(
+                    f"figure10: compiled workload {workload.name!r} was "
+                    f"prepared under a different workload/config/version "
+                    f"(fingerprint {cw.fingerprint[:12] or '<unset>'}..., "
+                    f"expected {expected[:12]}...) — re-prepare with the "
+                    f"sweep's quick/seed/config settings"
+                )
+            by_name[workload.name] = cw
         else:
-            if progress:
-                progress(f"preparing {name} ...")
-            cw = prepare(get_workload(name, quick=quick, seed=seed), base_config)
+            missing.append(workload)
+
+    if missing:
+        from .parallel import prepare_many
+
+        if progress and jobs == 1:
+            for workload in missing:
+                progress(f"preparing {workload.name} ...")
+        for cw in prepare_many(missing, base_config, jobs=jobs, cache=cache,
+                               timeout=task_timeout, progress=progress):
+            by_name[cw.name] = cw
+
+    out = Figure10(latencies=latencies)
+    cells = [
+        (name, l2_latency, memory_latency, mode)
+        for name in benchmarks
+        for l2_latency, memory_latency in latencies
+        for mode in modes
+    ]
+    for name in benchmarks:
         out.ipc[name] = {mode: [] for mode in modes}
+
+    if jobs != 1:
+        from .parallel import Task, clear_shared, run_model_task, run_tasks
+        from .parallel import share_compiled
+
+        refs = {name: share_compiled(cw) for name, cw in by_name.items()}
+        tasks = [
+            Task(label=f"{name}@{l2}/{mem}/{mode}", fn=run_model_task,
+                 args=(refs[name], base_config.with_latency(l2, mem),
+                       mode, False))
+            for name, l2, mem, mode in cells
+        ]
+        try:
+            results = run_tasks(tasks, jobs=jobs, timeout=task_timeout,
+                                progress=progress)
+        finally:
+            clear_shared()
+        for (name, _l2, _mem, mode), result in zip(cells, results):
+            out.ipc[name][mode].append(result.ipc)
+        return out
+
+    for name in benchmarks:
+        cw = by_name[name]
         for l2_latency, memory_latency in latencies:
             point = base_config.with_latency(l2_latency, memory_latency)
             if progress:

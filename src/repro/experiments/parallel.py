@@ -1,0 +1,237 @@
+"""Process-pool execution of the experiment grid.
+
+Every cell of the paper's evaluation is independent once ``prepare()`` has
+run: the 7-benchmark x 4-model suite grid and the Figure-10
+(2 benchmark x 4 latency x 4 model) sweep are embarrassingly parallel.
+This module provides the fan-out machinery the suite and Figure 10 build
+on:
+
+* :func:`run_tasks` — submit a list of picklable :class:`Task`\\ s to a
+  ``ProcessPoolExecutor`` and return their results **in task order**
+  (deterministic grid assembly regardless of completion order), with an
+  optional per-task timeout and automatic **serial in-process fallback**:
+  if a worker process dies (``BrokenProcessPool``) or a task times out,
+  already-finished results are salvaged and every unfinished cell is
+  recomputed in the parent, so a flaky pool can slow a run down but never
+  fail or corrupt it.  Genuine simulation errors raised by a task are
+  *not* swallowed — they propagate exactly as in serial execution.
+* :func:`prepare_task` / :func:`run_model_task` — the module-level worker
+  entry points.  Each worker constructs its own
+  :class:`~repro.telemetry.Telemetry` (CPI stacks travel back inside the
+  returned :class:`~repro.sim.RunResult`), and cache stores are atomic,
+  so concurrent workers preparing the same benchmark race benignly.
+
+Telemetry objects carrying sinks or samplers are process-local and not
+shared with workers; callers that pass a custom telemetry instance run
+serially (see :func:`repro.experiments.suite.run_suite`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from ..workloads import Workload
+
+ProgressFn = Callable[[str], None]
+
+#: Slot marker for "not computed yet" (``None`` is a legal task result).
+_UNSET = object()
+
+#: Parent-side registry of compiled workloads, inherited by forked pool
+#: workers.  Shipping a ``CompiledWorkload`` (multi-megabyte traces) to a
+#: worker per grid cell would make the quick grid IPC-bound; with the
+#: ``fork`` start method the children see this dict for free, so tasks
+#: carry only a string key.  On platforms without ``fork`` the object
+#: itself is passed (see :func:`share_compiled`).
+_SHARED_COMPILED: dict[str, object] = {}
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods() and \
+        multiprocessing.get_start_method(allow_none=True) in (None, "fork")
+
+
+def share_compiled(compiled) -> object:
+    """Return a task-argument reference for *compiled*.
+
+    With a fork-based pool, registers the object in the parent and
+    returns its key (workers inherit the registry at fork time — register
+    **before** :func:`run_tasks` submits anything).  Otherwise returns the
+    object itself, to be pickled per task.
+    """
+    if not _fork_available():
+        return compiled
+    key = compiled.fingerprint or f"anon-{id(compiled):x}"
+    _SHARED_COMPILED[key] = compiled
+    return key
+
+
+def _resolve_compiled(ref):
+    return _SHARED_COMPILED[ref] if isinstance(ref, str) else ref
+
+
+def clear_shared() -> None:
+    """Drop the shared-compiled registry (call after the grid is done, so
+    long-lived processes don't accumulate traces)."""
+    _SHARED_COMPILED.clear()
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of grid work: a picklable callable plus its arguments."""
+
+    label: str
+    fn: Callable
+    args: tuple
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level so they pickle).
+
+def prepare_task(workload: Workload, config: MachineConfig,
+                 cache_dir: str | None):
+    """Worker: compile one benchmark, reading/writing the cache if given."""
+    from .cache import RunCache, prepare_cached
+
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+    return prepare_cached(workload, config, cache)
+
+
+def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool):
+    """Worker: replay one compiled benchmark through one machine model.
+
+    *compiled* is a :class:`CompiledWorkload` or a :func:`share_compiled`
+    key resolved against the fork-inherited registry.  A fresh
+    :class:`Telemetry` is built in-process when CPI stacks are requested;
+    the stacks return inside the :class:`RunResult`.
+    """
+    from ..telemetry import Telemetry
+    from .runner import run_model
+
+    telemetry = Telemetry(cpi=True) if cpi else None
+    return run_model(_resolve_compiled(compiled), config, mode,
+                     telemetry=telemetry)
+
+
+# ----------------------------------------------------------------------
+
+def _run_inline(task: Task, progress: ProgressFn | None) -> object:
+    result = task.fn(*task.args)
+    if progress:
+        progress(f"  {task.label}: done")
+    return result
+
+
+def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
+              timeout: float | None = None,
+              progress: ProgressFn | None = None) -> list:
+    """Run *tasks* and return their results in task order.
+
+    ``jobs <= 1`` (after :func:`resolve_jobs`) executes inline.  Otherwise
+    tasks are fanned out on a ``ProcessPoolExecutor``; *timeout* bounds
+    each task's wall-clock wait in seconds.  Pool-infrastructure failures
+    (worker crash, timeout) trigger the serial fallback for every cell
+    that has no result yet; exceptions raised *by the task itself*
+    propagate unchanged.
+    """
+    tasks = list(tasks)
+    jobs = min(resolve_jobs(jobs), len(tasks))
+    if jobs <= 1:
+        return [_run_inline(task, progress) for task in tasks]
+
+    results: list = [_UNSET] * len(tasks)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    broken = False
+    try:
+        futures = [pool.submit(task.fn, *task.args) for task in tasks]
+        for index, (task, future) in enumerate(zip(tasks, futures)):
+            try:
+                results[index] = future.result(timeout=timeout)
+            except (BrokenProcessPool, FuturesTimeoutError, OSError) as exc:
+                broken = True
+                if progress:
+                    progress(
+                        f"  {task.label}: worker failed "
+                        f"({type(exc).__name__}); falling back to serial "
+                        f"in-process execution"
+                    )
+                break
+            else:
+                if progress:
+                    progress(f"  {task.label}: done")
+        if broken:
+            # Salvage whatever already finished; cancel the rest.
+            for index, future in enumerate(futures):
+                if results[index] is _UNSET and future.done():
+                    try:
+                        results[index] = future.result(timeout=0)
+                    except (BrokenProcessPool, FuturesTimeoutError,
+                            OSError):
+                        pass
+                else:
+                    future.cancel()
+    finally:
+        pool.shutdown(wait=not broken, cancel_futures=True)
+
+    for index, task in enumerate(tasks):
+        if results[index] is _UNSET:
+            results[index] = _run_inline(task, progress)
+    return results
+
+
+# ----------------------------------------------------------------------
+
+def prepare_many(workloads: Sequence[Workload], config: MachineConfig,
+                 jobs: int = 1, cache=None,
+                 timeout: float | None = None,
+                 progress: ProgressFn | None = None) -> list:
+    """Compile *workloads* (in order), fanning misses out over *jobs*.
+
+    The cache is probed in the parent first, so warm entries never touch
+    the pool (and a fully warm run performs zero ``prepare()`` calls);
+    only the misses are submitted as worker tasks, which store their
+    results back into the cache as they finish.
+    """
+    from .cache import compile_key
+
+    compiled: list = [None] * len(workloads)
+    miss_indices: list[int] = []
+    for index, workload in enumerate(workloads):
+        entry = cache.load(compile_key(workload, config)) \
+            if cache is not None else None
+        if entry is not None:
+            if progress:
+                progress(f"  prepare {workload.name}: cached")
+            compiled[index] = entry
+        else:
+            miss_indices.append(index)
+
+    if miss_indices:
+        cache_dir = str(cache.root) if cache is not None else None
+        tasks = [
+            Task(label=f"prepare {workloads[i].name}", fn=prepare_task,
+                 args=(workloads[i], config, cache_dir))
+            for i in miss_indices
+        ]
+        fresh = run_tasks(tasks, jobs=jobs, timeout=timeout,
+                          progress=progress)
+        for index, cw in zip(miss_indices, fresh):
+            compiled[index] = cw
+    return compiled

@@ -28,6 +28,7 @@ from ..sim.functional import DecoupledFunctionalSimulator, DynInstr, FunctionalS
 from ..slicer import HidiscCompilation, compile_hidisc, validate_separation
 from ..telemetry import Telemetry
 from ..workloads import Workload, check_ap_executable
+from .cache import compile_key
 
 
 @dataclass
@@ -47,6 +48,11 @@ class CompiledWorkload:
     warmup_pos_original: int = 0
     warmup_pos_decoupled: int = 0
     prepare_seconds: float = 0.0
+    #: content-addressed identity of (workload, config, package version)
+    #: this compilation was prepared under — the run-cache key (see
+    #: :func:`repro.experiments.cache.compile_key`).  Consumers that replay
+    #: a compilation (Figure 10) verify it to reject stale artefacts.
+    fingerprint: str = ""
 
     @property
     def name(self) -> str:
@@ -128,6 +134,7 @@ def prepare(workload: Workload, config: MachineConfig,
         warmup_pos_original=warm_orig,
         warmup_pos_decoupled=warm_dec,
         prepare_seconds=time.perf_counter() - start,
+        fingerprint=compile_key(workload, config),
     )
 
 
@@ -173,7 +180,14 @@ class BenchmarkResults:
 
     @property
     def baseline(self) -> RunResult:
-        return self.results["superscalar"]
+        try:
+            return self.results["superscalar"]
+        except KeyError:
+            raise SimulationError(
+                f"{self.compiled.name}: no 'superscalar' baseline among the "
+                f"simulated modes {sorted(self.results)} — speedups and "
+                f"miss-rate ratios need the baseline model"
+            ) from None
 
     def speedup(self, mode: str) -> float:
         return self.results[mode].speedup_over(self.baseline)
@@ -185,9 +199,39 @@ class BenchmarkResults:
 def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
                   modes: tuple[str, ...] = ("superscalar", "cp_ap",
                                             "cp_cmp", "hidisc"),
-                  telemetry: Telemetry | None = None) -> BenchmarkResults:
-    """Run *modes* on one compiled benchmark."""
+                  telemetry: Telemetry | None = None,
+                  jobs: int = 1,
+                  task_timeout: float | None = None) -> BenchmarkResults:
+    """Run *modes* on one compiled benchmark.
+
+    ``jobs > 1`` fans the models out over worker processes; results
+    assemble in *modes* order.  A caller-supplied *telemetry* object is
+    process-local, so it forces serial execution (matching the serial
+    path, the parallel path collects no CPI stacks unless the caller asks
+    for telemetry — use :func:`repro.experiments.suite.run_suite` for
+    parallel runs with stacks).
+    """
     out = BenchmarkResults(compiled=cw)
+    if jobs > 1 and telemetry is None and len(modes) > 1:
+        from .parallel import (
+            Task,
+            clear_shared,
+            run_model_task,
+            run_tasks,
+            share_compiled,
+        )
+
+        ref = share_compiled(cw)
+        tasks = [Task(label=f"{cw.name}/{mode}", fn=run_model_task,
+                      args=(ref, config, mode, False))
+                 for mode in modes]
+        try:
+            results = run_tasks(tasks, jobs=jobs, timeout=task_timeout)
+        finally:
+            clear_shared()
+        for mode, result in zip(modes, results):
+            out.results[mode] = result
+        return out
     for mode in modes:
         out.results[mode] = run_model(cw, config, mode, telemetry=telemetry)
     return out

@@ -14,8 +14,10 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from ..config import MachineConfig
+from ..errors import SimulationError
 from ..telemetry import Telemetry
 from ..workloads import Workload, all_workloads, quick_workloads
+from .cache import RunCache, prepare_cached
 from .models import MODEL_ORDER
 from .runner import BenchmarkResults, CompiledWorkload, prepare, run_benchmark
 
@@ -35,13 +37,22 @@ class SuiteResult:
     def names(self) -> list[str]:
         return list(self.benchmarks)
 
+    def _require_benchmarks(self, what: str) -> None:
+        if not self.benchmarks:
+            raise SimulationError(
+                f"cannot compute {what} of an empty suite — no benchmarks "
+                f"were simulated"
+            )
+
     def mean_speedup(self, mode: str) -> float:
         """Arithmetic mean speedup over the baseline (paper's Table 2)."""
+        self._require_benchmarks("mean speedup")
         values = [b.speedup(mode) for b in self.benchmarks.values()]
         return sum(values) / len(values)
 
     def mean_miss_reduction(self, mode: str) -> float:
         """Mean fraction of L1 demand misses eliminated vs the baseline."""
+        self._require_benchmarks("mean miss reduction")
         values = [1.0 - b.miss_ratio(mode) for b in self.benchmarks.values()]
         return sum(values) / len(values)
 
@@ -75,24 +86,49 @@ def run_suite(
     progress: ProgressFn | None = None,
     telemetry: Telemetry | None = None,
     cpi_stacks: bool = True,
+    jobs: int = 1,
+    cache: RunCache | None = None,
+    task_timeout: float | None = None,
 ) -> SuiteResult:
     """Prepare and simulate every benchmark on every model.
 
     CPI stacks are collected by default (``cpi_stacks=True``) so the suite
     JSON payload carries the cycle attribution of every run; pass an
     explicit *telemetry* object instead for event tracing or sampling.
+
+    ``jobs > 1`` fans ``prepare()`` out per benchmark and ``run_model()``
+    out per (benchmark, model) cell over worker processes; results are
+    assembled deterministically in grid order, so the payload is identical
+    to a serial run modulo ``elapsed_seconds``.  Each worker constructs
+    its own CPI-stack telemetry; an explicit *telemetry* object (sinks,
+    samplers) is process-local, so it forces serial execution.
+    ``cache`` memoizes compilations on disk (see
+    :mod:`repro.experiments.cache`); *task_timeout* bounds each parallel
+    task in seconds, after which it is recomputed in-process.
     """
     config = config if config is not None else MachineConfig()
     if workloads is None:
         workloads = quick_workloads(seed) if quick else all_workloads(seed)
+    workloads = list(workloads)
+    if jobs != 1 and telemetry is not None:
+        if progress:
+            progress("explicit telemetry object is process-local; "
+                     "running serially")
+        jobs = 1
     if telemetry is None and cpi_stacks:
         telemetry = Telemetry(cpi=True)
     start = time.perf_counter()
     suite = SuiteResult(config=config, quick=quick)
+    if jobs != 1:
+        _run_suite_parallel(suite, workloads, config, modes, progress,
+                            cpi=cpi_stacks, jobs=jobs, cache=cache,
+                            task_timeout=task_timeout)
+        suite.elapsed_seconds = time.perf_counter() - start
+        return suite
     for workload in workloads:
         if progress:
             progress(f"preparing {workload.name} ...")
-        compiled = prepare(workload, config)
+        compiled = prepare_cached(workload, config, cache)
         if progress:
             progress(
                 f"  compiled in {compiled.prepare_seconds:.1f}s "
@@ -113,10 +149,54 @@ def run_suite(
     return suite
 
 
+def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
+                        config: MachineConfig, modes: tuple[str, ...],
+                        progress: ProgressFn | None, cpi: bool, jobs: int,
+                        cache: RunCache | None,
+                        task_timeout: float | None) -> None:
+    """Fan the suite grid out over worker processes (deterministic order)."""
+    from .parallel import (
+        Task,
+        clear_shared,
+        prepare_many,
+        run_model_task,
+        run_tasks,
+        share_compiled,
+    )
+
+    if progress:
+        progress(f"preparing {len(workloads)} benchmarks "
+                 f"(jobs={jobs}) ...")
+    compiled = prepare_many(workloads, config, jobs=jobs, cache=cache,
+                            timeout=task_timeout, progress=progress)
+    if progress:
+        progress(f"simulating {len(compiled) * len(modes)} grid cells "
+                 f"(jobs={jobs}) ...")
+    tasks = [
+        Task(label=f"{cw.name}/{mode}", fn=run_model_task,
+             args=(share_compiled(cw), config, mode, cpi))
+        for cw in compiled
+        for mode in modes
+    ]
+    try:
+        results = run_tasks(tasks, jobs=jobs, timeout=task_timeout,
+                            progress=progress)
+    finally:
+        clear_shared()
+    cursor = iter(results)
+    for cw in compiled:
+        bench = BenchmarkResults(compiled=cw)
+        for mode in modes:
+            bench.results[mode] = next(cursor)
+        suite.benchmarks[cw.name] = bench
+
+
 def prepare_suite_workload(name: str, config: MachineConfig,
                            quick: bool = False,
-                           seed: int = 2003) -> CompiledWorkload:
+                           seed: int = 2003,
+                           cache: RunCache | None = None) -> CompiledWorkload:
     """Prepare a single benchmark by name (used by Figure 10 and tests)."""
     from ..workloads import get_workload
 
-    return prepare(get_workload(name, quick=quick, seed=seed), config)
+    return prepare_cached(get_workload(name, quick=quick, seed=seed),
+                          config, cache)

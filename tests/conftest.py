@@ -14,6 +14,15 @@ def config() -> MachineConfig:
     return MachineConfig()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path_factory, monkeypatch):
+    """Point the persistent run cache at a per-test directory so tests
+    never read or write ``~/.cache/hidisc``."""
+    monkeypatch.setenv(
+        "HIDISC_CACHE_DIR", str(tmp_path_factory.mktemp("hidisc-cache"))
+    )
+
+
 def build_counting_loop(iterations: int = 10) -> "Program":
     """sum = 0 + 1 + ... + (iterations-1), stored to `out`."""
     b = ProgramBuilder("counting")

@@ -11,7 +11,7 @@ class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
         for cmd in ("table1", "table2", "figure8", "figure9", "figure10",
-                    "all", "stats", "trace"):
+                    "all", "suite", "stats", "trace", "cache"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_unknown_command_rejected(self):
@@ -37,6 +37,29 @@ class TestParser:
     def test_bad_bench_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stats", "--bench", "nosuch"])
+
+    def test_parallel_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--quick", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4 and args.no_cache
+        assert args.cache_dir == "/tmp/c"
+        assert build_parser().parse_args(["suite"]).jobs == 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--jobs", "-1"])
+
+    def test_cache_subcommands(self):
+        for action in ("stats", "clear"):
+            args = build_parser().parse_args(["cache", action])
+            assert args.command == "cache" and args.cache_action == action
+        assert build_parser().parse_args(["cache"]).cache_action is None
+
+    def test_cache_action_only_valid_after_cache(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "clear"])
 
 
 class TestExecution:
@@ -80,17 +103,56 @@ class TestExecution:
         assert any(e["ph"] == "X" for e in events)
         assert any(e["ph"] == "C" for e in events)
 
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+
+        # a cached compile shows up in stats, and clear removes it
+        assert main(["stats", "--quick", "--no-progress", "--bench", "field",
+                     "--model", "superscalar",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        json_path = tmp_path / "cache.json"
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir),
+                     "--json", str(json_path)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert json.loads(json_path.read_text())["cache"]["entries"] == 1
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "1 entries removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_stats_reuses_cached_compile(self, capsys, tmp_path,
+                                         monkeypatch):
+        cache_dir = tmp_path / "cache"
+        common = ["stats", "--quick", "--no-progress", "--bench", "field",
+                  "--model", "superscalar", "--cache-dir", str(cache_dir)]
+        assert main(common) == 0
+        capsys.readouterr()
+
+        import repro.experiments.runner as runner_mod
+
+        def forbidden(workload, config, verify=True):
+            raise AssertionError("prepare() called despite a warm cache")
+
+        monkeypatch.setattr(runner_mod, "prepare", forbidden)
+        assert main(common) == 0
+        assert "CPI stack" in capsys.readouterr().out
+
     def test_figure10_quick_with_json(self, capsys, tmp_path, monkeypatch):
         # restrict the sweep via monkeypatching to keep this test fast
         import repro.experiments.cli as cli_mod
 
         original = cli_mod.figure10
 
-        def tiny_figure10(config, quick, seed, progress, compiled=None):
+        def tiny_figure10(config, quick, seed, progress, compiled=None,
+                          **kwargs):
             return original(config, quick=quick, seed=seed,
                             benchmarks=("field",),
                             latencies=((12, 120),), progress=progress,
-                            compiled=compiled)
+                            compiled=compiled, **kwargs)
 
         monkeypatch.setattr(cli_mod, "figure10", tiny_figure10)
         json_path = tmp_path / "out.json"

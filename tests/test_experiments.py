@@ -58,6 +58,25 @@ class TestRunner:
         with pytest.raises(SimulationError):
             run_model(cw, config, "quantum")
 
+    def test_prepare_stamps_fingerprint(self, config):
+        from repro.experiments import compile_key
+
+        workload = FieldWorkload(n=500)
+        cw = prepare(workload, config)
+        assert cw.fingerprint == compile_key(workload, config)
+
+    def test_missing_baseline_raises_clearly(self, config):
+        """Regression: modes without 'superscalar' used to surface as a
+        bare KeyError from BenchmarkResults.baseline."""
+        from repro.errors import SimulationError
+
+        cw = prepare(FieldWorkload(n=500), config)
+        bench = run_benchmark(cw, config, modes=("hidisc",))
+        with pytest.raises(SimulationError, match="baseline"):
+            bench.baseline
+        with pytest.raises(SimulationError, match="baseline"):
+            bench.speedup("hidisc")
+
 
 class TestSuiteShapes:
     """The paper's qualitative claims, asserted on the quick suite."""
@@ -92,6 +111,18 @@ class TestSuiteShapes:
         field = quick_suite.benchmarks["field"]
         assert field.speedup("cp_ap") > 1.02
         assert field.speedup("cp_cmp") == pytest.approx(1.0, abs=0.02)
+
+    def test_empty_suite_means_raise_clearly(self):
+        """Regression: mean_speedup / mean_miss_reduction used to crash
+        with ZeroDivisionError on an empty suite."""
+        from repro.errors import SimulationError
+        from repro.experiments import SuiteResult
+
+        empty = SuiteResult(config=MachineConfig(), quick=True)
+        with pytest.raises(SimulationError, match="empty suite"):
+            empty.mean_speedup("hidisc")
+        with pytest.raises(SimulationError, match="empty suite"):
+            empty.mean_miss_reduction("hidisc")
 
     def test_payload_serialises(self, quick_suite, tmp_path):
         payload = quick_suite.to_payload()
@@ -165,10 +196,30 @@ class TestFigure10:
 
     def test_reuses_compiled(self, config):
         cw = prepare(get_workload("pointer", quick=True), config)
-        fig = figure10(config, benchmarks=("pointer",),
+        fig = figure10(config, quick=True, benchmarks=("pointer",),
                        latencies=((12, 120),),
                        compiled={"pointer": cw})
         assert fig.ipc["pointer"]["hidisc"][0] > 0
+
+    def test_rejects_stale_compiled(self, config):
+        """Regression: a compilation prepared under different settings
+        (here quick=True vs a paper-scale sweep) must be rejected, not
+        silently replayed."""
+        from repro.errors import SimulationError
+
+        cw = prepare(get_workload("pointer", quick=True), config)
+        with pytest.raises(SimulationError, match="different"):
+            figure10(config, quick=False, benchmarks=("pointer",),
+                     latencies=((12, 120),), compiled={"pointer": cw})
+
+    def test_rejects_compiled_from_other_config(self, config):
+        from repro.errors import SimulationError
+
+        other = config.with_latency(4, 40)
+        cw = prepare(get_workload("pointer", quick=True), other)
+        with pytest.raises(SimulationError, match="different"):
+            figure10(config, quick=True, benchmarks=("pointer",),
+                     latencies=((12, 120),), compiled={"pointer": cw})
 
     def test_default_latencies_match_paper(self):
         assert FIGURE10_LATENCIES == ((4, 40), (8, 80), (12, 120), (16, 160))

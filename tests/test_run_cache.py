@@ -1,0 +1,278 @@
+"""Run-cache and parallel-grid tests (repro.experiments.cache / .parallel).
+
+The parity tests use a reduced workload set so the grid stays seconds-sized;
+the full quick suite is exercised by test_experiments and the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError, SimulationError
+from repro.experiments import (
+    RunCache,
+    Task,
+    compile_key,
+    prepare,
+    prepare_cached,
+    run_benchmark,
+    run_suite,
+    run_tasks,
+)
+from repro.experiments.cache import workload_fingerprint
+from repro.workloads import FieldWorkload, get_workload
+
+
+def small_workloads(seed: int = 2003):
+    """Three tiny benchmarks — enough to exercise grid assembly."""
+    return [
+        FieldWorkload(n=500, seed=seed),
+        get_workload("pointer", quick=True, seed=seed),
+        get_workload("transitive", quick=True, seed=seed),
+    ]
+
+
+def _count_prepares(monkeypatch):
+    """Patch runner.prepare with a counting wrapper (parent process only)."""
+    import repro.experiments.runner as runner_mod
+
+    calls = []
+    real = runner_mod.prepare
+
+    def counting(workload, config, verify=True):
+        calls.append(workload.name)
+        return real(workload, config, verify=verify)
+
+    monkeypatch.setattr(runner_mod, "prepare", counting)
+    return calls
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+
+class TestFingerprints:
+    def test_same_inputs_same_key(self, config):
+        assert compile_key(FieldWorkload(n=500), config) == \
+            compile_key(FieldWorkload(n=500), config)
+
+    def test_seed_changes_key(self, config):
+        assert compile_key(FieldWorkload(n=500, seed=1), config) != \
+            compile_key(FieldWorkload(n=500, seed=2), config)
+
+    def test_quick_scale_changes_key(self, config):
+        # quick vs paper-scale instances differ in their size parameters
+        assert compile_key(get_workload("pointer", quick=True), config) != \
+            compile_key(get_workload("pointer", quick=False), config)
+
+    def test_config_changes_key(self, config):
+        assert compile_key(FieldWorkload(n=500), config) != \
+            compile_key(FieldWorkload(n=500), config.with_latency(4, 40))
+
+    def test_version_changes_key(self, config, monkeypatch):
+        import repro
+
+        before = compile_key(FieldWorkload(n=500), config)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert compile_key(FieldWorkload(n=500), config) != before
+
+    def test_workload_fingerprint_covers_scalars(self):
+        a = workload_fingerprint(FieldWorkload(n=500, token=0x42))
+        b = workload_fingerprint(FieldWorkload(n=500, token=0x43))
+        assert a != b
+
+
+# ----------------------------------------------------------------------
+# RunCache store semantics
+
+class TestRunCache:
+    def test_miss_then_hit(self, config, tmp_path, monkeypatch):
+        calls = _count_prepares(monkeypatch)
+        cache = RunCache(tmp_path)
+        cw1 = prepare_cached(FieldWorkload(n=500), config, cache)
+        assert calls == ["field"] and cache.stores == 1
+        cw2 = prepare_cached(FieldWorkload(n=500), config, cache)
+        assert calls == ["field"], "cache hit must skip prepare()"
+        assert cache.hits == 1
+        assert cw2.fingerprint == cw1.fingerprint
+        assert len(cw2.trace) == len(cw1.trace)
+
+    def test_hit_survives_new_cache_instance(self, config, tmp_path,
+                                             monkeypatch):
+        prepare_cached(FieldWorkload(n=500), config, RunCache(tmp_path))
+        calls = _count_prepares(monkeypatch)
+        prepare_cached(FieldWorkload(n=500), config, RunCache(tmp_path))
+        assert calls == []
+
+    def test_fingerprint_mismatch_misses(self, config, tmp_path,
+                                         monkeypatch):
+        cache = RunCache(tmp_path)
+        prepare_cached(FieldWorkload(n=500), config, cache)
+        calls = _count_prepares(monkeypatch)
+        prepare_cached(FieldWorkload(n=500, seed=7), config, cache)
+        prepare_cached(FieldWorkload(n=500), config.with_latency(4, 40),
+                       cache)
+        assert calls == ["field", "field"], \
+            "changed seed/config must recompute"
+
+    def test_corrupted_entry_recomputes(self, config, tmp_path,
+                                        monkeypatch):
+        cache = RunCache(tmp_path)
+        workload = FieldWorkload(n=500)
+        prepare_cached(workload, config, cache)
+        key = compile_key(workload, config)
+        cache.path_for(key).write_bytes(b"\x80garbage not a pickle")
+        calls = _count_prepares(monkeypatch)
+        fresh = RunCache(tmp_path)
+        cw = prepare_cached(workload, config, fresh)
+        assert calls == ["field"] and fresh.corrupt == 1
+        assert cw.fingerprint == key
+        # the bad entry was replaced by a good one
+        assert fresh.load(key) is not None
+
+    def test_wrong_key_content_rejected(self, config, tmp_path):
+        """An entry whose payload fingerprint disagrees with its file name
+        (e.g. a renamed file) is evicted, not returned."""
+        cache = RunCache(tmp_path)
+        workload = FieldWorkload(n=500)
+        prepare_cached(workload, config, cache)
+        good = cache.path_for(compile_key(workload, config))
+        bad = cache.path_for("0" * 64)
+        good.rename(bad)
+        assert cache.load("0" * 64) is None
+        assert not bad.exists()
+
+    def test_stats_and_clear(self, config, tmp_path):
+        cache = RunCache(tmp_path)
+        prepare_cached(FieldWorkload(n=500), config, cache)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["total_bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_unwritable_root_degrades_gracefully(self, config):
+        cache = RunCache("/proc/definitely/not/writable")
+        cw = prepare_cached(FieldWorkload(n=500), config, cache)
+        assert cw.work > 0 and cache.stores == 0
+
+
+# ----------------------------------------------------------------------
+# Parallel grid execution
+
+def _identity_task(value):
+    return value
+
+
+def _crash_in_worker(parent_pid):
+    """Dies hard in a pool worker; succeeds when run in the parent."""
+    if os.getpid() != parent_pid:
+        os._exit(3)
+    return "ok"
+
+
+def _sleep_in_worker(parent_pid, seconds):
+    """Hangs in a pool worker; returns immediately in the parent."""
+    if os.getpid() != parent_pid:
+        time.sleep(seconds)
+    return "ok"
+
+
+def _raise_simulation_error():
+    raise SimulationError("boom from worker")
+
+
+class TestRunTasks:
+    def test_results_in_task_order(self):
+        tasks = [Task(label=str(i), fn=_identity_task, args=(i,))
+                 for i in range(20)]
+        assert run_tasks(tasks, jobs=4) == list(range(20))
+
+    def test_serial_when_jobs_one(self):
+        tasks = [Task(label=str(i), fn=_identity_task, args=(i,))
+                 for i in range(3)]
+        assert run_tasks(tasks, jobs=1) == [0, 1, 2]
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            run_tasks([Task("x", _identity_task, (1,))], jobs=-2)
+
+    def test_worker_crash_falls_back_to_serial(self):
+        parent = os.getpid()
+        tasks = [Task(label=f"t{i}", fn=_crash_in_worker, args=(parent,))
+                 for i in range(4)]
+        assert run_tasks(tasks, jobs=2) == ["ok"] * 4
+
+    def test_timeout_falls_back_to_serial(self):
+        parent = os.getpid()
+        tasks = [Task(label=f"t{i}", fn=_sleep_in_worker, args=(parent, 3))
+                 for i in range(2)]
+        assert run_tasks(tasks, jobs=2, timeout=0.2) == ["ok"] * 2
+
+    def test_task_exceptions_propagate(self):
+        # two tasks so the pool path (not the inline shortcut) is taken
+        tasks = [Task(label="good", fn=_identity_task, args=(1,)),
+                 Task(label="bad", fn=_raise_simulation_error, args=())]
+        with pytest.raises(SimulationError, match="boom"):
+            run_tasks(tasks, jobs=2)
+
+    def test_task_exceptions_propagate_inline(self):
+        tasks = [Task(label="bad", fn=_raise_simulation_error, args=())]
+        with pytest.raises(SimulationError, match="boom"):
+            run_tasks(tasks, jobs=1)
+
+
+class TestParallelSuite:
+    def test_parallel_payload_matches_serial(self, config):
+        serial = run_suite(config, quick=True,
+                           workloads=small_workloads(), jobs=1)
+        fanned = run_suite(config, quick=True,
+                           workloads=small_workloads(), jobs=2)
+        p_serial, p_fanned = serial.to_payload(), fanned.to_payload()
+        p_serial.pop("elapsed_seconds")
+        p_fanned.pop("elapsed_seconds")
+        assert json.dumps(p_serial, sort_keys=True) == \
+            json.dumps(p_fanned, sort_keys=True)
+
+    def test_warm_cache_skips_all_prepares(self, config, tmp_path,
+                                           monkeypatch):
+        cache = RunCache(tmp_path)
+        run_suite(config, quick=True, workloads=small_workloads(),
+                  jobs=1, cache=cache)
+        assert cache.stores == len(small_workloads())
+
+        # Warm run: any prepare() call in the parent is a test failure.
+        import repro.experiments.runner as runner_mod
+
+        def forbidden(workload, config, verify=True):
+            raise AssertionError("prepare() called on a warm cache")
+
+        monkeypatch.setattr(runner_mod, "prepare", forbidden)
+        warm_cache = RunCache(tmp_path)
+        warm = run_suite(config, quick=True, workloads=small_workloads(),
+                         jobs=2, cache=warm_cache)
+        assert warm_cache.hits == len(small_workloads())
+        assert set(warm.names) == {w.name for w in small_workloads()}
+
+    def test_run_benchmark_parallel_modes(self, config):
+        cw = prepare(FieldWorkload(n=500), config)
+        serial = run_benchmark(cw, config)
+        fanned = run_benchmark(cw, config, jobs=2)
+        assert set(fanned.results) == set(serial.results)
+        for mode, result in fanned.results.items():
+            assert result.cycles == serial.results[mode].cycles
+
+    def test_custom_telemetry_forces_serial(self, config):
+        """A caller-supplied telemetry object is process-local, so the
+        suite must fall back to serial execution (and still collect)."""
+        from repro.telemetry import MemorySink, Telemetry
+
+        telemetry = Telemetry(sink=MemorySink(), cpi=True)
+        suite = run_suite(config, quick=True,
+                          workloads=[FieldWorkload(n=500)],
+                          jobs=4, telemetry=telemetry)
+        assert suite.benchmarks["field"].baseline.cycles > 0
+        assert telemetry.sink.events
