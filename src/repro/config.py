@@ -178,6 +178,13 @@ class MachineConfig:
     l1: CacheConfig = DEFAULT_L1
     l2: CacheConfig = DEFAULT_L2
     memory_latency: int = 120
+    #: cycle budget for one timing run; exceeding it raises
+    #: :class:`~repro.errors.CycleLimitError` (override per run with
+    #: ``Machine.run(max_cycles=...)`` or globally with ``--max-cycles``).
+    max_cycles: int = 2_000_000_000
+    #: no-progress window (cycles) after which the
+    #: :class:`~repro.resilience.ProgressWatchdog` declares a livelock.
+    watchdog_window: int = 10_000
     branch: BranchConfig = field(default_factory=BranchConfig)
     queues: QueueConfig = field(default_factory=QueueConfig)
     cmas: CmasConfig = field(default_factory=CmasConfig)
@@ -209,6 +216,10 @@ class MachineConfig:
             raise ConfigError("fetch_width must be >= 1")
         if self.memory_latency < 1:
             raise ConfigError("memory_latency must be >= 1")
+        if self.max_cycles < 1:
+            raise ConfigError("max_cycles must be >= 1")
+        if self.watchdog_window < 1:
+            raise ConfigError("watchdog_window must be >= 1")
 
     def with_latency(self, l2_latency: int, memory_latency: int) -> "MachineConfig":
         """Return a copy with new L2/memory latencies (Figure 10 sweeps)."""

@@ -33,6 +33,60 @@ class SimulationError(ReproError):
     """Raised for illegal operations during simulation (bad address, ...)."""
 
 
+class CycleLimitError(SimulationError):
+    """A timing simulation exceeded its cycle budget.
+
+    Carries enough context (benchmark, machine mode, the limit) that the
+    message names the knob to raise: ``MachineConfig.max_cycles`` /
+    ``hidisc --max-cycles``.
+    """
+
+    def __init__(self, benchmark: str, mode: str, max_cycles: int,
+                 cycle: int | None = None):
+        self.benchmark = benchmark
+        self.mode = mode
+        self.max_cycles = max_cycles
+        super().__init__(
+            f"{benchmark or '<unnamed>'}: exceeded {max_cycles} cycles on "
+            f"{mode} — raise the limit with MachineConfig.max_cycles or "
+            f"the --max-cycles CLI flag if the workload is genuinely this "
+            f"long"
+        )
+
+
+class DeadlockError(SimulationError):
+    """The timing machine made no progress and never can again.
+
+    Raised by :class:`repro.resilience.ProgressWatchdog` with a forensic
+    *dump* (per-core window heads, queue occupancy, outstanding misses,
+    injected faults) so a queue-plan bug or an injected transfer drop can
+    be diagnosed from the exception alone.
+    """
+
+    def __init__(self, message: str, dump: dict | None = None):
+        self.dump = dump if dump is not None else {}
+        super().__init__(message)
+
+
+class VerificationError(SimulationError):
+    """Timing-mode execution diverged from the functional oracle.
+
+    Carries the individual *mismatches* (register, memory page, store
+    order or commit-stream violations) found by
+    :mod:`repro.resilience.oracle`.
+    """
+
+    def __init__(self, message: str, mismatches: list[str] | None = None):
+        self.mismatches = list(mismatches) if mismatches else []
+        detail = ""
+        if self.mismatches:
+            shown = self.mismatches[:8]
+            detail = "\n  - " + "\n  - ".join(shown)
+            if len(self.mismatches) > len(shown):
+                detail += f"\n  ... and {len(self.mismatches) - len(shown)} more"
+        super().__init__(message + detail)
+
+
 class MemoryFault(SimulationError):
     """Out-of-range or misaligned memory access."""
 

@@ -6,11 +6,13 @@
 * :mod:`repro.experiments.figure9` — L1 miss-rate reduction.
 * :mod:`repro.experiments.figure10` — IPC vs memory latency.
 * :mod:`repro.experiments.cache` — persistent compilation (run) cache.
+* :mod:`repro.experiments.checkpoint` — crash-resumable suite checkpoints.
 * :mod:`repro.experiments.parallel` — process-pool grid execution.
 * :mod:`repro.experiments.cli` — the ``hidisc`` command.
 """
 
 from .cache import RunCache, compile_key, prepare_cached
+from .checkpoint import SuiteCheckpoint, suite_key
 from .figure8 import Figure8, figure8
 from .figure9 import Figure9, figure9
 from .figure10 import FIGURE10_BENCHMARKS, Figure10, figure10
@@ -19,6 +21,7 @@ from .parallel import Task, run_tasks
 from .runner import (
     BenchmarkResults,
     CompiledWorkload,
+    build_machine,
     prepare,
     run_benchmark,
     run_model,
@@ -38,9 +41,11 @@ __all__ = [
     "MODEL_ORDER",
     "PAPER",
     "RunCache",
+    "SuiteCheckpoint",
     "SuiteResult",
     "Table2",
     "Task",
+    "build_machine",
     "compile_key",
     "figure10",
     "figure8",
@@ -51,6 +56,7 @@ __all__ = [
     "run_model",
     "run_suite",
     "run_tasks",
+    "suite_key",
     "table1",
     "table2",
 ]

@@ -47,6 +47,10 @@ CACHE_ENV = "HIDISC_CACHE_DIR"
 #: Suffix of cache entry files.
 ENTRY_SUFFIX = ".pkl"
 
+#: Subdirectory of the cache root holding suite checkpoints (see
+#: :mod:`repro.experiments.checkpoint`).
+SUITES_DIR = "suites"
+
 
 def default_cache_dir() -> Path:
     """``$HIDISC_CACHE_DIR``, else ``$XDG_CACHE_HOME/hidisc``, else
@@ -195,7 +199,8 @@ class RunCache:
         }
 
     def clear(self) -> int:
-        """Delete every entry; return how many were removed."""
+        """Delete every entry (including suite checkpoint cells); return
+        how many files were removed."""
         removed = 0
         for path in self.entries():
             try:
@@ -203,6 +208,20 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        suites = self.root / SUITES_DIR
+        if suites.is_dir():
+            for cell in sorted(suites.rglob(f"*{ENTRY_SUFFIX}")):
+                try:
+                    cell.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for directory in sorted(suites.iterdir()):
+                if directory.is_dir():
+                    try:
+                        directory.rmdir()
+                    except OSError:
+                        pass
         return removed
 
 

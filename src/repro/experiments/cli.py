@@ -7,6 +7,9 @@ Installed as the ``hidisc`` console script::
     hidisc figure8 --quick
     hidisc all --json results.json --jobs 4
     hidisc suite --quick --jobs 2
+    hidisc suite --quick --verify          # co-simulation oracle on
+    hidisc suite --resume                  # replay only missing cells
+    hidisc faults --quick --fault-seed 7   # seeded fault campaign
     hidisc stats --quick --bench pointer --model hidisc
     hidisc trace --quick --bench pointer --out trace.json
     hidisc cache stats
@@ -15,13 +18,16 @@ Installed as the ``hidisc`` console script::
 Experiment commands run compilations through a persistent on-disk cache
 (``--cache-dir``, default ``$HIDISC_CACHE_DIR`` or ``~/.cache/hidisc``;
 ``--no-cache`` disables it) and fan the simulation grid out over worker
-processes with ``--jobs N`` (0 = all CPUs).
+processes with ``--jobs N`` (0 = all CPUs).  Suite runs checkpoint every
+completed grid cell into the cache, so an interrupted run continues with
+``--resume``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from ..config import MachineConfig, TelemetryConfig
 from ..telemetry import Telemetry
@@ -38,7 +44,7 @@ from .table1 import table1
 from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
-             "suite", "stats", "trace", "cache")
+             "suite", "stats", "trace", "cache", "faults")
 
 _CACHE_ACTIONS = ("stats", "clear")
 
@@ -53,8 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command", choices=_COMMANDS,
                         help="which table/figure to regenerate, 'suite' for "
                              "the raw benchmark grid, 'stats'/'trace' to "
-                             "profile one run, or 'cache' to manage the "
-                             "run cache")
+                             "profile one run, 'cache' to manage the "
+                             "run cache, or 'faults' to run a seeded "
+                             "fault-injection campaign")
     parser.add_argument("cache_action", nargs="?", choices=_CACHE_ACTIONS,
                         help="for 'hidisc cache': 'stats' (default) or "
                              "'clear'")
@@ -75,6 +82,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help="run-cache directory (default $HIDISC_CACHE_DIR "
                              "or ~/.cache/hidisc)")
+    parser.add_argument("--verify", action="store_true",
+                        help="referee every timing run with the "
+                             "co-simulation oracle (commit-stream "
+                             "integrity + functional state diff)")
+    parser.add_argument("--resume", action="store_true",
+                        help="for 'suite'-family commands: load the "
+                             "checkpointed cells of an interrupted run "
+                             "and simulate only the missing ones")
+    parser.add_argument("--max-cycles", type=_positive, default=None,
+                        metavar="N",
+                        help="cycle budget per timing run (default "
+                             f"{MachineConfig().max_cycles}; a run "
+                             "exceeding it raises CycleLimitError)")
+    injection = parser.add_argument_group(
+        "faults options", "seeded fault-injection campaigns "
+                          "(repro.resilience)")
+    injection.add_argument("--fault-seed", type=int, default=2003,
+                           metavar="SEED",
+                           help="FaultPlan seed (default 2003); the same "
+                                "seed always injects the same faults")
+    injection.add_argument("--fault-count", type=_non_negative, default=8,
+                           metavar="N",
+                           help="number of fault sites to draw "
+                                "(default 8)")
+    injection.add_argument("--fault-benches", metavar="NAMES", default=None,
+                           help="comma-separated benchmark names to "
+                                "campaign over (default: every suite "
+                                "benchmark)")
     profiling = parser.add_argument_group(
         "stats/trace options", "single-run telemetry (repro.telemetry)")
     profiling.add_argument("--bench", default="pointer",
@@ -102,6 +137,13 @@ def _non_negative(text: str) -> int:
     return value
 
 
+def _positive(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def _profile_single(args, config: MachineConfig, progress,
                     telemetry: Telemetry, cache: RunCache | None):
     """Shared stats/trace path: compile one benchmark, run one model."""
@@ -113,7 +155,60 @@ def _profile_single(args, config: MachineConfig, progress,
         progress(f"  compiled in {compiled.prepare_seconds:.1f}s "
                  f"({compiled.work} dynamic instructions); "
                  f"simulating {args.model} ...")
-    return run_model(compiled, config, args.model, telemetry=telemetry)
+    return run_model(compiled, config, args.model, telemetry=telemetry,
+                     verify=args.verify)
+
+
+def _run_faults(args, config: MachineConfig, progress,
+                cache: RunCache | None, payload: dict) -> int:
+    """The 'faults' command: a seeded campaign over benchmarks x models.
+
+    Returns the process exit code: 0 when every run degraded gracefully
+    (completed with a passing oracle diff, or raised a typed error),
+    1 otherwise.
+    """
+    from ..resilience import FaultPlan, run_fault_campaign
+    from ..workloads import all_workloads, quick_workloads
+
+    workloads = (quick_workloads(args.seed) if args.quick
+                 else all_workloads(args.seed))
+    if args.fault_benches is not None:
+        wanted = [name.strip() for name in args.fault_benches.split(",")
+                  if name.strip()]
+        by_name = {w.name: w for w in workloads}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            raise SystemExit(
+                f"hidisc faults: unknown benchmark(s) "
+                f"{', '.join(unknown)} (have: {', '.join(sorted(by_name))})"
+            )
+        workloads = [by_name[name] for name in wanted]
+
+    plan = FaultPlan.random(args.fault_seed, count=args.fault_count)
+    print(plan.describe())
+    outcomes = []
+    for workload in workloads:
+        if progress:
+            progress(f"preparing {workload.name} ...")
+        compiled = prepare_cached(workload, config, cache)
+        for mode in MODEL_ORDER:
+            outcome = run_fault_campaign(compiled, config, mode, plan,
+                                         max_cycles=args.max_cycles)
+            print(outcome.summary())
+            outcomes.append(outcome)
+    graceful = all(outcome.graceful for outcome in outcomes)
+    payload["faults"] = {
+        "plan_seed": plan.seed,
+        "sites": len(plan.sites),
+        "graceful": graceful,
+        "outcomes": [outcome.as_dict() for outcome in outcomes],
+    }
+    completed = sum(1 for o in outcomes if o.outcome == "completed")
+    raised = len(outcomes) - completed
+    print(f"\nfault campaign: {len(outcomes)} runs, {completed} completed "
+          f"under the oracle, {raised} raised typed errors — "
+          f"{'all graceful' if graceful else 'GRACEFUL-DEGRADATION FAILURE'}")
+    return 0 if graceful else 1
 
 
 def _stats_payload(result, telemetry: Telemetry) -> dict:
@@ -141,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_action is not None and args.command != "cache":
         parser.error(f"'{args.cache_action}' is only valid after 'cache'")
     config = MachineConfig()
+    if args.max_cycles is not None:
+        config = replace(config, max_cycles=args.max_cycles)
     progress = None if args.no_progress else (
         lambda msg: print(msg, file=sys.stderr, flush=True)
     )
@@ -192,9 +289,17 @@ def main(argv: list[str] | None = None) -> int:
                             "events": count}
         payload["stats"] = _stats_payload(result, telemetry)
 
+    if args.command == "faults":
+        code = _run_faults(args, config, progress, cache, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
     if args.command in ("table2", "figure8", "figure9", "all", "suite"):
         suite = run_suite(config, quick=args.quick, seed=args.seed,
-                          progress=progress, jobs=args.jobs, cache=cache)
+                          progress=progress, jobs=args.jobs, cache=cache,
+                          verify=args.verify, resume=args.resume)
         payload["suite"] = suite.to_payload()
         if args.command == "suite":
             for bench in suite.benchmarks.values():

@@ -9,12 +9,17 @@ on:
 * :func:`run_tasks` — submit a list of picklable :class:`Task`\\ s to a
   ``ProcessPoolExecutor`` and return their results **in task order**
   (deterministic grid assembly regardless of completion order), with an
-  optional per-task timeout and automatic **serial in-process fallback**:
-  if a worker process dies (``BrokenProcessPool``) or a task times out,
-  already-finished results are salvaged and every unfinished cell is
-  recomputed in the parent, so a flaky pool can slow a run down but never
-  fail or corrupt it.  Genuine simulation errors raised by a task are
-  *not* swallowed — they propagate exactly as in serial execution.
+  optional per-task timeout, **bounded retry with exponential backoff**
+  for pool-infrastructure failures (a worker killed by the OS, a task
+  timeout: the pool is rebuilt and only the unfinished cells resubmitted,
+  up to *retries* times), and automatic **serial in-process fallback**
+  once retries are exhausted — so a flaky pool can slow a run down but
+  never fail or corrupt it.  Genuine simulation errors raised by a task
+  are *not* swallowed — they propagate immediately, exactly as in serial
+  execution (deterministic failures fail fast; only infrastructure
+  failures retry).  An *on_result* callback sees each ``(index, result)``
+  the moment it lands, which is how the suite checkpoints every completed
+  grid cell before the next one runs.
 * :func:`prepare_task` / :func:`run_model_task` — the module-level worker
   entry points.  Each worker constructs its own
   :class:`~repro.telemetry.Telemetry` (CPI stacks travel back inside the
@@ -30,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -114,20 +120,23 @@ def prepare_task(workload: Workload, config: MachineConfig,
     return prepare_cached(workload, config, cache)
 
 
-def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool):
+def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool,
+                   verify: bool = False):
     """Worker: replay one compiled benchmark through one machine model.
 
     *compiled* is a :class:`CompiledWorkload` or a :func:`share_compiled`
     key resolved against the fork-inherited registry.  A fresh
     :class:`Telemetry` is built in-process when CPI stacks are requested;
-    the stacks return inside the :class:`RunResult`.
+    the stacks return inside the :class:`RunResult`.  ``verify=True``
+    referees the run with the co-simulation oracle (see
+    :func:`repro.resilience.verified_run`).
     """
     from ..telemetry import Telemetry
     from .runner import run_model
 
     telemetry = Telemetry(cpi=True) if cpi else None
     return run_model(_resolve_compiled(compiled), config, mode,
-                     telemetry=telemetry)
+                     telemetry=telemetry, verify=verify)
 
 
 # ----------------------------------------------------------------------
@@ -139,49 +148,44 @@ def _run_inline(task: Task, progress: ProgressFn | None) -> object:
     return result
 
 
-def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
-              timeout: float | None = None,
-              progress: ProgressFn | None = None) -> list:
-    """Run *tasks* and return their results in task order.
+def _run_pool_round(tasks: Sequence[Task], pending: Sequence[int],
+                    jobs: int, timeout: float | None,
+                    progress: ProgressFn | None,
+                    deliver: Callable[[int, object], None]) -> bool:
+    """One process-pool attempt over the *pending* task indices.
 
-    ``jobs <= 1`` (after :func:`resolve_jobs`) executes inline.  Otherwise
-    tasks are fanned out on a ``ProcessPoolExecutor``; *timeout* bounds
-    each task's wall-clock wait in seconds.  Pool-infrastructure failures
-    (worker crash, timeout) trigger the serial fallback for every cell
-    that has no result yet; exceptions raised *by the task itself*
-    propagate unchanged.
+    Delivers every result that lands (including salvage of
+    already-finished futures after a failure).  Returns True if the pool
+    infrastructure broke (worker death, timeout) and some tasks remain
+    undone; task-raised exceptions propagate unchanged.
     """
-    tasks = list(tasks)
-    jobs = min(resolve_jobs(jobs), len(tasks))
-    if jobs <= 1:
-        return [_run_inline(task, progress) for task in tasks]
-
-    results: list = [_UNSET] * len(tasks)
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
     broken = False
     try:
-        futures = [pool.submit(task.fn, *task.args) for task in tasks]
-        for index, (task, future) in enumerate(zip(tasks, futures)):
+        futures = {
+            index: pool.submit(tasks[index].fn, *tasks[index].args)
+            for index in pending
+        }
+        for index, future in futures.items():
             try:
-                results[index] = future.result(timeout=timeout)
+                result = future.result(timeout=timeout)
             except (BrokenProcessPool, FuturesTimeoutError, OSError) as exc:
                 broken = True
                 if progress:
                     progress(
-                        f"  {task.label}: worker failed "
-                        f"({type(exc).__name__}); falling back to serial "
-                        f"in-process execution"
+                        f"  {tasks[index].label}: worker failed "
+                        f"({type(exc).__name__})"
                     )
                 break
-            else:
-                if progress:
-                    progress(f"  {task.label}: done")
+            deliver(index, result)
+            if progress:
+                progress(f"  {tasks[index].label}: done")
         if broken:
             # Salvage whatever already finished; cancel the rest.
-            for index, future in enumerate(futures):
-                if results[index] is _UNSET and future.done():
+            for index, future in futures.items():
+                if future.done() and not future.cancelled():
                     try:
-                        results[index] = future.result(timeout=0)
+                        deliver(index, future.result(timeout=0))
                     except (BrokenProcessPool, FuturesTimeoutError,
                             OSError):
                         pass
@@ -189,10 +193,74 @@ def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
                     future.cancel()
     finally:
         pool.shutdown(wait=not broken, cancel_futures=True)
+    return broken
 
+
+def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
+              timeout: float | None = None,
+              progress: ProgressFn | None = None,
+              retries: int = 1, backoff: float = 0.25,
+              on_result: Callable[[int, object], None] | None = None) -> list:
+    """Run *tasks* and return their results in task order.
+
+    ``jobs <= 1`` (after :func:`resolve_jobs`) executes inline.  Otherwise
+    tasks are fanned out on a ``ProcessPoolExecutor``; *timeout* bounds
+    each task's wall-clock wait in seconds.
+
+    Pool-infrastructure failures (worker crash, timeout) are **transient**:
+    already-finished results are salvaged, the pool is rebuilt and only
+    the unfinished cells are resubmitted, up to *retries* times with
+    exponential backoff (``backoff * 2**attempt`` seconds); when retries
+    are exhausted the remaining cells run serially in-process.  Exceptions
+    raised *by a task itself* are **deterministic** and propagate
+    immediately — a failing simulation is never retried.
+
+    *on_result* (if given) is called with ``(task_index, result)`` as each
+    result lands — delivery order is completion order, exactly once per
+    task — so callers can checkpoint incrementally.
+    """
+    tasks = list(tasks)
+    jobs = min(resolve_jobs(jobs), len(tasks))
+    results: list = [_UNSET] * len(tasks)
+
+    def deliver(index: int, value) -> None:
+        if results[index] is _UNSET and on_result is not None:
+            on_result(index, value)
+        results[index] = value
+
+    if jobs <= 1:
+        for index, task in enumerate(tasks):
+            deliver(index, _run_inline(task, progress))
+        return results
+
+    attempt = 0
+    while True:
+        pending = [i for i in range(len(tasks)) if results[i] is _UNSET]
+        if not pending:
+            return results
+        if not _run_pool_round(tasks, pending, jobs, timeout, progress,
+                               deliver):
+            return results
+        if attempt >= retries:
+            break
+        delay = backoff * (2 ** attempt)
+        attempt += 1
+        remaining = sum(1 for r in results if r is _UNSET)
+        if progress:
+            progress(
+                f"  rebuilding worker pool for {remaining} unfinished "
+                f"tasks (retry {attempt}/{retries}, backoff {delay:.2f}s)"
+            )
+        if delay > 0:
+            time.sleep(delay)
+
+    remaining = sum(1 for r in results if r is _UNSET)
+    if progress and remaining:
+        progress(f"  retries exhausted; computing {remaining} remaining "
+                 f"tasks serially in-process")
     for index, task in enumerate(tasks):
         if results[index] is _UNSET:
-            results[index] = _run_inline(task, progress)
+            deliver(index, _run_inline(task, progress))
     return results
 
 

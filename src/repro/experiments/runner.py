@@ -138,37 +138,59 @@ def prepare(workload: Workload, config: MachineConfig,
     )
 
 
-def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
-              telemetry: Telemetry | None = None) -> RunResult:
-    """Replay one compiled benchmark through one machine model."""
+def build_machine(cw: CompiledWorkload, config: MachineConfig, mode: str,
+                  telemetry: Telemetry | None = None,
+                  faults=None, record_commits: bool = False) -> Machine:
+    """Construct (without running) the machine for one grid cell.
+
+    The single place that knows which program/trace/plans each model
+    needs; :func:`run_model`, the co-simulation oracle and the
+    fault-injection campaigns all build their machines here.
+    """
+    common = dict(work_instructions=cw.work, benchmark=cw.name,
+                  telemetry=telemetry, faults=faults,
+                  record_commits=record_commits)
     comp = cw.compilation
     if mode == "superscalar":
-        machine = Machine(config, comp.original, cw.trace, mode=mode,
-                          work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_original,
-                          telemetry=telemetry)
-    elif mode == "cp_ap":
-        machine = Machine(config, comp.decoupled, cw.decoupled_trace,
-                          mode=mode, queue_plan=cw.queue_plan,
-                          work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_decoupled,
-                          telemetry=telemetry)
-    elif mode == "cp_cmp":
-        machine = Machine(config, comp.original, cw.trace, mode=mode,
-                          cmas_plan=cw.cmas_plan_original,
-                          work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_original,
-                          telemetry=telemetry)
-    elif mode == "hidisc":
-        machine = Machine(config, comp.decoupled, cw.decoupled_trace,
-                          mode=mode, queue_plan=cw.queue_plan,
-                          cmas_plan=cw.cmas_plan_decoupled,
-                          work_instructions=cw.work, benchmark=cw.name,
-                          warmup_pos=cw.warmup_pos_decoupled,
-                          telemetry=telemetry)
-    else:
-        raise SimulationError(f"unknown model {mode!r}")
-    return machine.run()
+        return Machine(config, comp.original, cw.trace, mode=mode,
+                       warmup_pos=cw.warmup_pos_original, **common)
+    if mode == "cp_ap":
+        return Machine(config, comp.decoupled, cw.decoupled_trace,
+                       mode=mode, queue_plan=cw.queue_plan,
+                       warmup_pos=cw.warmup_pos_decoupled, **common)
+    if mode == "cp_cmp":
+        return Machine(config, comp.original, cw.trace, mode=mode,
+                       cmas_plan=cw.cmas_plan_original,
+                       warmup_pos=cw.warmup_pos_original, **common)
+    if mode == "hidisc":
+        return Machine(config, comp.decoupled, cw.decoupled_trace,
+                       mode=mode, queue_plan=cw.queue_plan,
+                       cmas_plan=cw.cmas_plan_decoupled,
+                       warmup_pos=cw.warmup_pos_decoupled, **common)
+    raise SimulationError(f"unknown model {mode!r}")
+
+
+def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
+              telemetry: Telemetry | None = None,
+              verify: bool = False, faults=None,
+              max_cycles: int | None = None) -> RunResult:
+    """Replay one compiled benchmark through one machine model.
+
+    ``verify=True`` runs under the co-simulation oracle
+    (:func:`repro.resilience.verified_run`): commit-stream integrity plus
+    the functional state diff, raising
+    :class:`~repro.errors.VerificationError` on any divergence.  *faults*
+    attaches a :class:`~repro.resilience.FaultInjector`; *max_cycles*
+    overrides ``config.max_cycles`` for this run only.
+    """
+    if verify:
+        from ..resilience.oracle import verified_run
+
+        return verified_run(cw, config, mode, telemetry=telemetry,
+                            faults=faults, max_cycles=max_cycles)
+    machine = build_machine(cw, config, mode, telemetry=telemetry,
+                            faults=faults)
+    return machine.run(max_cycles=max_cycles)
 
 
 @dataclass
@@ -201,7 +223,8 @@ def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
                                             "cp_cmp", "hidisc"),
                   telemetry: Telemetry | None = None,
                   jobs: int = 1,
-                  task_timeout: float | None = None) -> BenchmarkResults:
+                  task_timeout: float | None = None,
+                  verify: bool = False) -> BenchmarkResults:
     """Run *modes* on one compiled benchmark.
 
     ``jobs > 1`` fans the models out over worker processes; results
@@ -223,7 +246,7 @@ def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
 
         ref = share_compiled(cw)
         tasks = [Task(label=f"{cw.name}/{mode}", fn=run_model_task,
-                      args=(ref, config, mode, False))
+                      args=(ref, config, mode, False, verify))
                  for mode in modes]
         try:
             results = run_tasks(tasks, jobs=jobs, timeout=task_timeout)
@@ -233,5 +256,6 @@ def run_benchmark(cw: CompiledWorkload, config: MachineConfig,
             out.results[mode] = result
         return out
     for mode in modes:
-        out.results[mode] = run_model(cw, config, mode, telemetry=telemetry)
+        out.results[mode] = run_model(cw, config, mode, telemetry=telemetry,
+                                      verify=verify)
     return out

@@ -14,12 +14,13 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from ..config import MachineConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..telemetry import Telemetry
 from ..workloads import Workload, all_workloads, quick_workloads
 from .cache import RunCache, prepare_cached
+from .checkpoint import SuiteCheckpoint
 from .models import MODEL_ORDER
-from .runner import BenchmarkResults, CompiledWorkload, prepare, run_benchmark
+from .runner import BenchmarkResults, CompiledWorkload, run_model
 
 ProgressFn = Callable[[str], None]
 
@@ -89,6 +90,8 @@ def run_suite(
     jobs: int = 1,
     cache: RunCache | None = None,
     task_timeout: float | None = None,
+    verify: bool = False,
+    resume: bool = False,
 ) -> SuiteResult:
     """Prepare and simulate every benchmark on every model.
 
@@ -105,11 +108,33 @@ def run_suite(
     ``cache`` memoizes compilations on disk (see
     :mod:`repro.experiments.cache`); *task_timeout* bounds each parallel
     task in seconds, after which it is recomputed in-process.
+
+    When a *cache* is given, every completed grid cell is checkpointed
+    into ``<cache>/suites/<suite-key>/`` the moment it finishes;
+    ``resume=True`` loads the checkpointed cells of an interrupted run
+    and simulates only the missing ones (the simulators are
+    deterministic, so the resumed payload is identical to an
+    uninterrupted run modulo ``elapsed_seconds``).  ``verify=True``
+    referees every cell with the co-simulation oracle
+    (:func:`repro.resilience.verified_run`).
     """
     config = config if config is not None else MachineConfig()
     if workloads is None:
         workloads = quick_workloads(seed) if quick else all_workloads(seed)
     workloads = list(workloads)
+    if resume and cache is None:
+        raise ConfigError(
+            "suite resume needs the run cache for its checkpoints — "
+            "drop --no-cache or pass a RunCache"
+        )
+    checkpoint = (
+        SuiteCheckpoint.for_suite(cache, config, workloads, modes)
+        if cache is not None else None
+    )
+    if resume and progress:
+        found = len(checkpoint.cells())
+        progress(f"resuming: {found} checkpointed cells under "
+                 f"{checkpoint.root}")
     if jobs != 1 and telemetry is not None:
         if progress:
             progress("explicit telemetry object is process-local; "
@@ -122,7 +147,8 @@ def run_suite(
     if jobs != 1:
         _run_suite_parallel(suite, workloads, config, modes, progress,
                             cpi=cpi_stacks, jobs=jobs, cache=cache,
-                            task_timeout=task_timeout)
+                            task_timeout=task_timeout, verify=verify,
+                            checkpoint=checkpoint, resume=resume)
         suite.elapsed_seconds = time.perf_counter() - start
         return suite
     for workload in workloads:
@@ -134,8 +160,21 @@ def run_suite(
                 f"  compiled in {compiled.prepare_seconds:.1f}s "
                 f"({compiled.work} dynamic instructions); simulating ..."
             )
-        bench = run_benchmark(compiled, config, modes=modes,
-                              telemetry=telemetry)
+        bench = BenchmarkResults(compiled=compiled)
+        for mode in modes:
+            result = (
+                checkpoint.load(workload.name, mode)
+                if resume and checkpoint is not None else None
+            )
+            if result is None:
+                result = run_model(compiled, config, mode,
+                                   telemetry=telemetry, verify=verify)
+                if checkpoint is not None:
+                    checkpoint.store(workload.name, mode, result)
+            elif progress:
+                progress(f"  {workload.name}/{mode}: resumed from "
+                         f"checkpoint")
+            bench.results[mode] = result
         suite.benchmarks[workload.name] = bench
         if progress:
             base = bench.baseline
@@ -153,8 +192,17 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
                         config: MachineConfig, modes: tuple[str, ...],
                         progress: ProgressFn | None, cpi: bool, jobs: int,
                         cache: RunCache | None,
-                        task_timeout: float | None) -> None:
-    """Fan the suite grid out over worker processes (deterministic order)."""
+                        task_timeout: float | None,
+                        verify: bool = False,
+                        checkpoint: SuiteCheckpoint | None = None,
+                        resume: bool = False) -> None:
+    """Fan the suite grid out over worker processes (deterministic order).
+
+    Each completed cell is checkpointed from the parent the moment its
+    result lands (via ``run_tasks``'s *on_result* hook), so an
+    interruption at any point loses at most the in-flight cells; with
+    *resume*, checkpointed cells are loaded up front and never submitted.
+    """
     from .parallel import (
         Task,
         clear_shared,
@@ -169,26 +217,47 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
                  f"(jobs={jobs}) ...")
     compiled = prepare_many(workloads, config, jobs=jobs, cache=cache,
                             timeout=task_timeout, progress=progress)
+
+    grid = [(cw, mode) for cw in compiled for mode in modes]
+    cells: dict[int, object] = {}
+    if resume and checkpoint is not None:
+        for index, (cw, mode) in enumerate(grid):
+            result = checkpoint.load(cw.name, mode)
+            if result is not None:
+                cells[index] = result
+        if progress and cells:
+            progress(f"  resumed {len(cells)}/{len(grid)} cells from "
+                     f"checkpoint")
+    missing = [index for index in range(len(grid)) if index not in cells]
     if progress:
-        progress(f"simulating {len(compiled) * len(modes)} grid cells "
-                 f"(jobs={jobs}) ...")
-    tasks = [
-        Task(label=f"{cw.name}/{mode}", fn=run_model_task,
-             args=(share_compiled(cw), config, mode, cpi))
-        for cw in compiled
-        for mode in modes
-    ]
-    try:
-        results = run_tasks(tasks, jobs=jobs, timeout=task_timeout,
-                            progress=progress)
-    finally:
-        clear_shared()
-    cursor = iter(results)
-    for cw in compiled:
-        bench = BenchmarkResults(compiled=cw)
-        for mode in modes:
-            bench.results[mode] = next(cursor)
-        suite.benchmarks[cw.name] = bench
+        progress(f"simulating {len(missing)} grid cells (jobs={jobs}) ...")
+    if missing:
+        tasks = [
+            Task(label=f"{grid[index][0].name}/{grid[index][1]}",
+                 fn=run_model_task,
+                 args=(share_compiled(grid[index][0]), config,
+                       grid[index][1], cpi, verify))
+            for index in missing
+        ]
+
+        def on_result(task_index: int, result) -> None:
+            grid_index = missing[task_index]
+            cells[grid_index] = result
+            if checkpoint is not None:
+                cw, mode = grid[grid_index]
+                checkpoint.store(cw.name, mode, result)
+
+        try:
+            run_tasks(tasks, jobs=jobs, timeout=task_timeout,
+                      progress=progress, on_result=on_result)
+        finally:
+            clear_shared()
+    for index, (cw, mode) in enumerate(grid):
+        bench = suite.benchmarks.get(cw.name)
+        if bench is None:
+            bench = BenchmarkResults(compiled=cw)
+            suite.benchmarks[cw.name] = bench
+        bench.results[mode] = cells[index]
 
 
 def prepare_suite_workload(name: str, config: MachineConfig,

@@ -1,0 +1,48 @@
+"""Resilience subsystem: fault injection, deadlock forensics, verification.
+
+Three pillars (ISSUE 3):
+
+* :mod:`~repro.resilience.faults` — seeded deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` covering cache-line
+  corruption, fill delays/drops, queue-transfer stalls/drops/corruption
+  and CMAS trigger suppression.
+* :mod:`~repro.resilience.watchdog` — :class:`ProgressWatchdog`, the
+  structured replacement for the old "nudge one cycle" deadlock
+  workaround; raises :class:`~repro.errors.DeadlockError` with a forensic
+  occupancy dump.
+* :mod:`~repro.resilience.oracle` — the co-simulation referee behind
+  ``--verify``: commit-stream integrity plus a direct functional state
+  diff (memory, registers, store order).
+
+:mod:`~repro.resilience.campaign` composes them into fault-injection
+campaigns proving graceful degradation (``hidisc faults``).
+"""
+
+from .campaign import CampaignOutcome, run_fault_campaign
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSite
+from .oracle import (
+    check_commit_stream,
+    diff_memory,
+    diff_registers,
+    diff_store_order,
+    verified_run,
+    verify_compiled,
+)
+from .watchdog import ProgressWatchdog, forensic_dump
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignOutcome",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "ProgressWatchdog",
+    "check_commit_stream",
+    "diff_memory",
+    "diff_registers",
+    "diff_store_order",
+    "forensic_dump",
+    "run_fault_campaign",
+    "verified_run",
+    "verify_compiled",
+]

@@ -1,0 +1,237 @@
+"""Co-simulation oracle: check timing runs against the functional model.
+
+The timing machines are trace-driven, so they cannot *invent* wrong data —
+but a queue-protocol or slicing bug can silently commit instructions out
+of order, twice, or not at all, and a fault-injection campaign needs an
+independent referee.  The oracle checks two things:
+
+* **Commit-stream integrity** (per timing run): with
+  ``record_commits=True`` the machine logs every retirement; the oracle
+  asserts that every trace position commits exactly once, in program
+  order per core, with gid/pos agreement — the timing-mode analogue of
+  "architectural state matches".
+* **Functional state diff** (per compiled workload): the sequential golden
+  model and the split-register-file decoupled executor are re-run and
+  their final memories, final register files and dynamic *store order*
+  are diffed directly (a stronger check than the symbol-level
+  ``workload.verify``), and both are verified against the workload
+  reference.
+
+:func:`verified_run` bundles both behind the CLI's ``--verify`` flag:
+run the timing model with commit recording, then referee.  Any mismatch
+raises a typed :class:`~repro.errors.VerificationError` listing every
+violation — a silent divergence cannot survive it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError, VerificationError
+from ..sim.functional import DecoupledFunctionalSimulator, FunctionalSimulator
+
+#: Attribute used to memoize the functional diff on a CompiledWorkload
+#: (the diff depends only on the compilation, not on the machine mode).
+_MEMO_ATTR = "_oracle_mismatches"
+
+
+# ----------------------------------------------------------------------
+# State diffing.
+# ----------------------------------------------------------------------
+
+def diff_memory(expected, actual, limit: int = 8) -> list[str]:
+    """Byte-level diff of two :class:`MainMemory` contents."""
+    from ..sim.memory import PAGE_BITS, PAGE_SIZE
+
+    mismatches: list[str] = []
+    zero = bytes(PAGE_SIZE)
+    indices = sorted(set(expected._pages) | set(actual._pages))
+    for index in indices:
+        a = bytes(expected._pages.get(index, b"")) or zero
+        b = bytes(actual._pages.get(index, b"")) or zero
+        if a == b:
+            continue
+        offset = next(i for i in range(PAGE_SIZE) if a[i] != b[i])
+        address = (index << PAGE_BITS) + offset
+        mismatches.append(
+            f"memory differs at 0x{address:x}: expected byte "
+            f"0x{a[offset]:02x}, got 0x{b[offset]:02x}"
+        )
+        if len(mismatches) >= limit:
+            mismatches.append("... further memory mismatches suppressed")
+            break
+    return mismatches
+
+
+def diff_registers(seq_regs, cp_regs, ap_regs, limit: int = 8) -> list[str]:
+    """Check every sequential register value survives in CP or AP.
+
+    Register liveness is split across the two files (CS values live on the
+    CP, AS values on the AP), so the sequential final value must appear in
+    at least one of them.
+    """
+    mismatches: list[str] = []
+    for reg in range(1, len(seq_regs)):
+        want = seq_regs[reg]
+        if cp_regs[reg] == want or ap_regs[reg] == want:
+            continue
+        name = f"r{reg}" if reg < 32 else f"f{reg - 32}"
+        mismatches.append(
+            f"register {name}: sequential {want!r}, "
+            f"CP {cp_regs[reg]!r}, AP {ap_regs[reg]!r}"
+        )
+        if len(mismatches) >= limit:
+            mismatches.append("... further register mismatches suppressed")
+            break
+    return mismatches
+
+
+def store_order(program, trace) -> list[int]:
+    """Effective addresses of the trace's stores, in dynamic order."""
+    text = program.text
+    return [dyn.addr for dyn in trace if text[dyn.pc].is_store]
+
+
+def diff_store_order(cw) -> list[str]:
+    """The decoupled trace must store to the same addresses in the same
+    order as the sequential trace (decoupling may never reorder memory
+    writes — the SAQ/SDQ protocol serializes them)."""
+    comp = cw.compilation
+    seq = store_order(comp.original, cw.trace)
+    dec = store_order(comp.decoupled, cw.decoupled_trace)
+    if seq == dec:
+        return []
+    if len(seq) != len(dec):
+        return [
+            f"store count differs: sequential {len(seq)}, "
+            f"decoupled {len(dec)}"
+        ]
+    k = next(i for i, (a, b) in enumerate(zip(seq, dec)) if a != b)
+    return [
+        f"store order diverges at store #{k}: sequential 0x{seq[k]:x}, "
+        f"decoupled 0x{dec[k]:x}"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Functional oracle (per compiled workload).
+# ----------------------------------------------------------------------
+
+def verify_compiled(cw) -> list[str]:
+    """Re-run both functional models and diff their final states.
+
+    Returns the list of mismatches (empty = the compilation is sound).
+    Results are memoized on *cw* — the diff is mode-independent, so a
+    four-model ``--verify`` suite pays for it once per benchmark.
+    """
+    memo = getattr(cw, _MEMO_ATTR, None)
+    if memo is not None:
+        return list(memo)
+    comp = cw.compilation
+    mismatches: list[str] = []
+
+    seq = FunctionalSimulator(comp.original)
+    seq_state = seq.run()
+    dec = DecoupledFunctionalSimulator(comp.decoupled)
+    dec_state = dec.run()
+
+    if not dec.queues.ldq.empty:
+        mismatches.append(
+            f"LDQ not drained: {len(dec.queues.ldq)} residual entries"
+        )
+    if not dec.queues.sdq.empty:
+        mismatches.append(
+            f"SDQ not drained: {len(dec.queues.sdq)} residual entries"
+        )
+    mismatches += diff_memory(seq_state.memory, dec_state.memory)
+    mismatches += diff_registers(seq_state.regs, dec.cp_state.regs,
+                                 dec.ap_state.regs)
+    mismatches += diff_store_order(cw)
+    for label, state in (("sequential", seq_state), ("decoupled", dec_state)):
+        try:
+            cw.workload.verify(state)
+        except ReproError as exc:
+            mismatches.append(f"{label} run fails workload reference: {exc}")
+    try:
+        setattr(cw, _MEMO_ATTR, tuple(mismatches))
+    except AttributeError:  # slots/frozen safety — memoization is optional
+        pass
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Commit-stream check (per timing run).
+# ----------------------------------------------------------------------
+
+def check_commit_stream(machine) -> list[str]:
+    """Referee the recorded retirement log of one timing run."""
+    log = machine.commit_log
+    if log is None:
+        return ["machine was run without record_commits=True — "
+                "no commit log to verify"]
+    n = len(machine.trace)
+    mismatches: list[str] = []
+    seen = bytearray(n)
+    last_pos: dict[str, int] = {}
+    for core_name, gid, pos in log:
+        if core_name == "CMP":
+            # CMAS copies retire outside the architectural stream.
+            continue
+        if gid != pos:
+            mismatches.append(
+                f"{core_name}: committed gid {gid} disagrees with trace "
+                f"position {pos}"
+            )
+        if not 0 <= pos < n:
+            mismatches.append(
+                f"{core_name}: committed position {pos} outside trace "
+                f"[0, {n})"
+            )
+            continue
+        if seen[pos]:
+            mismatches.append(
+                f"{core_name}: trace position {pos} committed twice"
+            )
+        seen[pos] = 1
+        prev = last_pos.get(core_name)
+        if prev is not None and pos <= prev:
+            mismatches.append(
+                f"{core_name}: commit order violation — position {pos} "
+                f"after {prev}"
+            )
+        last_pos[core_name] = pos
+    missing = seen.count(0)
+    if missing:
+        first = seen.index(0)
+        mismatches.append(
+            f"{missing} trace positions never committed (first: {first})"
+        )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# The --verify entry point.
+# ----------------------------------------------------------------------
+
+def verified_run(cw, config, mode, telemetry=None, faults=None,
+                 max_cycles: int | None = None):
+    """Run one timing model under the oracle; raise on any divergence.
+
+    Returns the :class:`~repro.sim.RunResult` with ``verified=True`` set.
+    Raises :class:`~repro.errors.VerificationError` listing every
+    mismatch; watchdog/cycle-limit errors from the run itself propagate
+    unchanged (they are already typed and forensic).
+    """
+    from ..experiments.runner import build_machine
+
+    machine = build_machine(cw, config, mode, telemetry=telemetry,
+                            faults=faults, record_commits=True)
+    result = machine.run(max_cycles=max_cycles)
+    mismatches = check_commit_stream(machine)
+    mismatches += verify_compiled(cw)
+    if mismatches:
+        raise VerificationError(
+            f"{cw.name}/{mode}: timing run diverged from the functional "
+            f"oracle",
+            mismatches,
+        )
+    result.verified = True
+    return result

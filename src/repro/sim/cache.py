@@ -151,6 +151,23 @@ class Cache:
         """Drop every line (between benchmark runs)."""
         self._sets = [[] for _ in range(self.config.sets)]
 
+    def invalidate_block(self, address: int) -> bool:
+        """Drop the line containing *address* if resident; True if dropped.
+
+        Models a corrupted fill detected by ECC (repro.resilience fault
+        injection): the architectural data always lives in main memory, so
+        discarding the line is safe — the next access simply re-fetches.
+        No statistics are charged; the re-fetch shows up as an ordinary
+        miss.
+        """
+        index, tag = self._index_tag(address)
+        lines = self._sets[index]
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                del lines[pos]
+                return True
+        return False
+
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""

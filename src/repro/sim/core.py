@@ -101,6 +101,10 @@ class TimingCore:
         self._q_track: bool = (getattr(machine, "_tel_queues", False)
                                and not self.is_prefetch_core)
         self._tel_issue: bool = self._events_on or self._q_track
+        # Resilience hooks, latched like the telemetry switches (both are
+        # None in normal runs, so the hot paths pay one local test).
+        self._faults = getattr(machine, "faults", None)
+        self._commit_log = getattr(machine, "commit_log", None)
         self.cpi: dict[str, int] = new_stack()
         self._last_bucket = "frontend"
         self._committed_now = 0
@@ -240,6 +244,19 @@ class TimingCore:
                         entry.wait_class = "mem_mem"
             else:
                 latency = info.latency
+            if self._faults is not None and not self.is_prefetch_core:
+                ann = entry.instr.ann
+                if (info.writes_ldq or info.writes_sdq or ann.to_sdq
+                        or (info.is_load and ann.to_ldq)):
+                    extra = self._faults.on_queue_push(entry.gid)
+                    if extra is None:
+                        # Transfer dropped: the completion never lands, so
+                        # the consumer starves and the watchdog raises a
+                        # forensic DeadlockError — never a silent result.
+                        entry.issued = True
+                        issued += 1
+                        continue
+                    latency += extra
             entry.issued = True
             complete_at[entry.gid] = now + latency
             issued += 1
@@ -286,6 +303,8 @@ class TimingCore:
                 break
             window.popleft()
             committed += 1
+            if self._commit_log is not None:
+                self._commit_log.append((self.name, head.gid, head.pos))
         self.stats.committed += committed
         self._committed_now = committed
         if committed == 0 and window:

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 from ..asm.program import Program
 from ..config import MachineConfig
-from ..errors import SimulationError
+from ..errors import CycleLimitError, SimulationError
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Op
+from ..resilience.watchdog import ProgressWatchdog
 from ..telemetry import Telemetry
 from .branch import BranchPredictor
 from .core import TimingCore
@@ -61,6 +62,8 @@ class Machine:
         benchmark: str = "",
         warmup_pos: int = 0,
         telemetry: Telemetry | None = None,
+        faults=None,
+        record_commits: bool = False,
     ):
         if mode not in MODES:
             raise SimulationError(f"unknown machine mode {mode!r}")
@@ -85,6 +88,18 @@ class Machine:
         self.predictor = BranchPredictor(config.branch)
         self.ldq_capacity = config.queues.ldq_entries
         self.sdq_capacity = config.queues.sdq_entries
+
+        # Resilience: optional FaultInjector (None in normal runs — the hot
+        # paths guard on it), commit recording for the co-simulation oracle,
+        # and the progress watchdog replacing the old max_cycles-only guard.
+        self.faults = faults
+        self.hierarchy.faults = faults
+        #: (core name, gid, trace position) per retirement, oldest first;
+        #: None unless the run was started with ``record_commits=True``.
+        self.commit_log: list[tuple[str, int, int]] | None = (
+            [] if record_commits else None
+        )
+        self.watchdog = ProgressWatchdog(config.watchdog_window)
 
         # Telemetry: latch the switches once so the disabled path costs a
         # couple of local-variable tests per cycle (see repro.telemetry).
@@ -237,8 +252,19 @@ class Machine:
 
     def _fork_threads(self, thread_indices: list[int], now: int) -> None:
         max_contexts = self.config.cmas.max_contexts
+        faults = self.faults
         for index in thread_indices:
             thread = self.cmas_plan.threads[index]
+            if faults is not None and faults.on_fork():
+                # Injected trigger suppression: degrade exactly like a
+                # dropped thread (fewer prefetches, identical results).
+                self._threads_dropped += 1
+                self._next_cmas_gid += len(thread.positions)
+                if self._tel_events:
+                    self.sink.instant("CMP", "cmas_suppressed", now,
+                                      {"thread": index,
+                                       "instrs": len(thread.positions)})
+                continue
             if not self.cmp.queue_has_room(len(thread.positions)):
                 self._threads_dropped += 1
                 self._next_cmas_gid += len(thread.positions)
@@ -268,13 +294,15 @@ class Machine:
     # ------------------------------------------------------------------
     # The simulation loop.
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 2_000_000_000) -> RunResult:
+    def run(self, max_cycles: int | None = None) -> RunResult:
+        if max_cycles is None:
+            max_cycles = self.config.max_cycles
         now = 0
         n = len(self.trace)
         cores = self.cores
-        dead_skips = 0
         cpi_on = self._tel_cpi
         sampler = self._sampler
+        watchdog = self.watchdog
         while True:
             progress = self._separator_step(now)
             for core in cores:
@@ -297,12 +325,11 @@ class Machine:
                 sampler.record(self, now)
             if progress == 0:
                 next_now = self._skip_to_next_event(now)
-                dead_skips = dead_skips + 1 if next_now == now + 1 else 0
-                if dead_skips > 1000:
-                    raise SimulationError(
-                        f"{self.benchmark}: no progress for 1000 cycles on "
-                        f"{self.mode} at cycle {now} — queue plan deadlock?"
-                    )
+                # Raises DeadlockError: immediately when no wake-up event
+                # exists (structural — nothing can ever change again), or
+                # after config.watchdog_window event-ful but progress-free
+                # cycles (livelock safety net).
+                watchdog.check_stall(self, now, next_now)
                 if cpi_on and next_now > now + 1:
                     # Dead-time skip: nothing changes between `now` and
                     # `next_now`, so the skipped cycles repeat this cycle's
@@ -312,16 +339,15 @@ class Machine:
                         core.cpi[core._last_bucket] += skipped
                 now = next_now
             else:
-                dead_skips = 0
+                watchdog.note_progress(now)
                 now += 1
             if now > max_cycles:
-                raise SimulationError(
-                    f"{self.benchmark}: exceeded {max_cycles} cycles on {self.mode}"
-                )
+                raise CycleLimitError(self.benchmark, self.mode, max_cycles,
+                                      cycle=now)
         return self._result(now)
 
-    def _skip_to_next_event(self, now: int) -> int:
-        """Advance the clock to the next cycle where anything can happen."""
+    def _skip_to_next_event(self, now: int) -> int | None:
+        """Next cycle at which anything can happen; None = nothing ever can."""
         candidates: list[int] = []
         complete_at = self.complete_at
         for core in self.cores:
@@ -341,10 +367,10 @@ class Machine:
             if t is not None:
                 candidates.append(t + self.config.branch.mispredict_penalty)
         if not candidates:
-            # Nothing in flight and no progress: a genuine deadlock would be
-            # a queue-plan bug.  Nudge one cycle; the max_cycles guard
-            # converts a persistent deadlock into a diagnostic.
-            return now + 1
+            # Nothing in flight and no progress: by construction no future
+            # cycle can differ from this one.  The caller's watchdog turns
+            # this into a forensic DeadlockError.
+            return None
         return max(now + 1, min(candidates))
 
     # ------------------------------------------------------------------
@@ -366,6 +392,9 @@ class Machine:
             cpi_stacks=(
                 {c.name: dict(c.cpi) for c in self.cores}
                 if self._tel_cpi else {}
+            ),
+            faults_injected=(
+                self.faults.summary() if self.faults is not None else {}
             ),
         )
         return result

@@ -49,6 +49,9 @@ class MemoryHierarchy:
         #: Telemetry sink for fill/merge events (set by the owning machine
         #: when event tracing is on; None keeps the hot path untouched).
         self.sink = None
+        #: Optional FaultInjector (set by the owning machine); its
+        #: ``on_fill`` hook sees every L1-miss fill.
+        self.faults = None
         #: L1-block address -> absolute cycle when the in-flight fill lands.
         self._inflight: dict[int, int] = {}
         #: blocks whose in-flight fill was initiated by a prefetch
@@ -118,6 +121,12 @@ class MemoryHierarchy:
         self._inflight[block] = now + latency
         if is_prefetch:
             self._inflight_prefetch.add(block)
+        if self.faults is not None:
+            # May stretch the latency (delay/drop-and-retry) or discard the
+            # just-allocated line (corrupt_line pops the in-flight entry).
+            latency = self.faults.on_fill(self, block, latency, now)
+            if block in self._inflight:
+                self._inflight[block] = now + latency
         if self.sink is not None:
             deep = latency > self.l1.config.latency + self.l2.config.latency
             self.sink.duration(

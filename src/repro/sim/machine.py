@@ -44,6 +44,11 @@ class RunResult:
     #: when the run was telemetry-enabled, empty otherwise.  Components
     #: sum to :attr:`cycles` — see :mod:`repro.telemetry.cpi`.
     cpi_stacks: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Faults that actually fired (kind -> count); empty unless the run had
+    #: a :class:`repro.resilience.FaultInjector` attached.
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: True once the co-simulation oracle passed this run (``--verify``).
+    verified: bool = False
 
     @property
     def ipc(self) -> float:

@@ -20,6 +20,15 @@ from dataclasses import dataclass
 from ..errors import QueueProtocolError
 
 
+def _corrupt_value(item):
+    """Deterministically perturb one queue payload (bit-flip semantics)."""
+    if isinstance(item, bool) or not isinstance(item, (int, float)):
+        return item
+    if isinstance(item, int):
+        return item ^ 1
+    return -item if item != 0.0 else 1.0
+
+
 @dataclass
 class QueueStats:
     """Occupancy and stall statistics of one queue."""
@@ -29,6 +38,10 @@ class QueueStats:
     max_occupancy: int = 0
     full_stall_cycles: int = 0
     empty_stall_cycles: int = 0
+    #: transfers discarded by fault injection (repro.resilience).
+    drops: int = 0
+    #: transfers whose payload was corrupted by fault injection.
+    corruptions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -37,6 +50,8 @@ class QueueStats:
             "max_occupancy": self.max_occupancy,
             "full_stall_cycles": self.full_stall_cycles,
             "empty_stall_cycles": self.empty_stall_cycles,
+            "drops": self.drops,
+            "corruptions": self.corruptions,
         }
 
 
@@ -53,6 +68,8 @@ class ArchQueue:
         self._sink = None
         self._sink_track = "queues"
         self._ops = 0
+        #: push ordinal (0-based) -> "drop" | "corrupt" (fault injection).
+        self._fault_schedule: dict[int, str] | None = None
 
     def attach_sink(self, sink, track: str = "queues") -> None:
         """Mirror occupancy to a telemetry sink as a counter track.
@@ -81,10 +98,30 @@ class ArchQueue:
     def can_pop(self) -> bool:
         return bool(self._items)
 
+    def schedule_faults(self, schedule: dict[int, str]) -> None:
+        """Arm deterministic push faults: ``{push_ordinal: "drop"|"corrupt"}``.
+
+        The *k*-th push (0-based) is discarded (``drop``) or its payload
+        perturbed (``corrupt``).  Used by :mod:`repro.resilience.faults`
+        to prove that a faulty queue transfer surfaces as a typed error
+        (:class:`~repro.errors.QueueProtocolError` on the starved pop, or
+        a verification failure downstream) — never as silent corruption.
+        """
+        self._fault_schedule = dict(schedule) if schedule else None
+
     def push(self, item, enforce_capacity: bool = False):
         """Append *item*; optionally raise if the queue is full."""
         if enforce_capacity and self.full:
             raise QueueProtocolError(f"push on full queue {self.name}")
+        if self._fault_schedule is not None:
+            action = self._fault_schedule.get(self.stats.pushes)
+            if action == "drop":
+                self.stats.pushes += 1
+                self.stats.drops += 1
+                return item
+            if action == "corrupt":
+                item = _corrupt_value(item)
+                self.stats.corruptions += 1
         self._items.append(item)
         self.stats.pushes += 1
         if len(self._items) > self.stats.max_occupancy:

@@ -26,7 +26,7 @@ from .cpi import (
     stack_total,
 )
 from .events import Telemetry
-from .sampler import Sample, Sampler
+from .sampler import Sample, Sampler, take_sample
 from .sinks import (
     NULL_SINK,
     ChromeTraceSink,
@@ -55,4 +55,5 @@ __all__ = [
     "new_stack",
     "render_cpi_stacks",
     "stack_total",
+    "take_sample",
 ]

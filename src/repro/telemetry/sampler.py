@@ -40,6 +40,20 @@ class Sample:
         }
 
 
+def take_sample(machine, now: int) -> Sample:
+    """Snapshot *machine*'s occupancy state at cycle *now*.
+
+    Shared by the periodic :class:`Sampler` and the resilience watchdog's
+    forensic deadlock dumps (:mod:`repro.resilience.watchdog`).
+    """
+    sample = Sample(cycle=now)
+    for core in machine.cores:
+        sample.cores[core.name] = (len(core.window), len(core.instr_queue))
+    sample.queues = dict(machine.queue_occupancy)
+    sample.outstanding_misses = machine.hierarchy.outstanding_misses(now)
+    return sample
+
+
 class Sampler:
     """Fixed-interval occupancy sampler attached to one machine run."""
 
@@ -56,11 +70,7 @@ class Sampler:
 
     def record(self, machine, now: int) -> Sample:
         """Snapshot *machine* at cycle *now*; emits counters to the sink."""
-        sample = Sample(cycle=now)
-        for core in machine.cores:
-            sample.cores[core.name] = (len(core.window), len(core.instr_queue))
-        sample.queues = dict(machine.queue_occupancy)
-        sample.outstanding_misses = machine.hierarchy.outstanding_misses(now)
+        sample = take_sample(machine, now)
         self.samples.append(sample)
         self.next_at = now + self.interval
 
