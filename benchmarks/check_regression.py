@@ -1,0 +1,107 @@
+"""CI benchmark gate: fail on a large throughput regression.
+
+Compares a fresh pytest-benchmark run against the checked-in baseline
+(``benchmarks/baseline.json``, written by ``--update``) and exits non-zero
+if any scenario's throughput dropped by more than the tolerance (default
+25%).  The compared statistic is each scenario's *minimum* round time, not
+the mean: on a shared or frequency-scaled CI box the mean wanders by tens
+of percent between consecutive runs, while the best round is stable — and
+a structural slowdown (an accidentally quadratic loop, a de-optimised hot
+path) moves the minimum just as surely as the mean.  Improvements and new
+scenarios pass; a scenario present in the baseline but missing from the
+run fails (a silently skipped benchmark would otherwise hide a regression
+forever).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from record import run_benchmarks
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def _mins(raw: dict) -> dict[str, float]:
+    return {bench["name"]: bench["stats"]["min"]
+            for bench in raw.get("benchmarks", [])}
+
+
+def check(current: dict[str, float], baseline: dict[str, float],
+          tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures = []
+    for name, base_min in sorted(baseline.items()):
+        best = current.get(name)
+        if best is None:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        # Throughput ratio: < 1 means the scenario got slower.
+        ratio = base_min / best
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"{name}: best round {best * 1e3:.2f} ms vs baseline "
+                f"{base_min * 1e3:.2f} ms "
+                f"({(1.0 - ratio) * 100.0:.0f}% slower, "
+                f"tolerance {tolerance * 100.0:.0f}%)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate CI on benchmark throughput vs the checked-in "
+                    "baseline.")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite benchmarks/baseline.json from a "
+                             "fresh run instead of gating")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRACTION",
+                        help="allowed throughput drop (default 0.25)")
+    parser.add_argument("-k", dest="keyword", default=None, metavar="EXPR",
+                        help="pytest -k filter for a subset of scenarios")
+    args = parser.parse_args(argv)
+
+    raw = run_benchmarks(keyword=args.keyword)
+    current = _mins(raw)
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(current, indent=1, sort_keys=True) + "\n")
+        print(f"baseline rewritten with {len(current)} scenarios at "
+              f"{BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if args.keyword:
+        baseline = {name: mean for name, mean in baseline.items()
+                    if name in current}
+    failures = check(current, baseline, args.tolerance)
+    for name in sorted(current):
+        marker = "  (new)" if name not in baseline else ""
+        print(f"{name:40s} {current[name] * 1e3:9.2f} ms{marker}")
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate passed "
+          f"({len(baseline)} scenarios within "
+          f"{args.tolerance * 100.0:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Record a performance snapshot of the simulator's own hot paths.
+
+Runs the pytest-benchmark suite (``benchmarks/bench_simulator.py``) and
+appends one snapshot — commit, date, and per-scenario mean time plus the
+derived simulation rates (cycles/sec, instr/sec) — to ``BENCH_<date>.json``
+at the repository root.  The accumulated files track the perf trajectory
+across PRs; ``benchmarks/check_regression.py`` gates CI on the same
+numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [-k EXPR] [--out-dir DIR]
+    hidisc bench                       # same thing via the CLI
+
+The snapshot file is a JSON array; re-running on the same day appends
+another entry to the same file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def _git_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def run_benchmarks(keyword: str | None = None,
+                   extra_args: list[str] | None = None) -> dict:
+    """Run the pytest-benchmark suite; returns the parsed benchmark JSON."""
+    with tempfile.TemporaryDirectory(prefix="hidisc-bench-") as tmp:
+        json_path = Path(tmp) / "bench.json"
+        cmd = [sys.executable, "-m", "pytest",
+               str(BENCH_DIR / "bench_simulator.py"),
+               "--benchmark-only", "-q", f"--benchmark-json={json_path}"]
+        if keyword:
+            cmd += ["-k", keyword]
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        proc = subprocess.run(cmd + (extra_args or []), cwd=REPO_ROOT,
+                              env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"benchmark run failed with exit code {proc.returncode}")
+        return json.loads(json_path.read_text())
+
+
+def snapshot_from(raw: dict, commit: str | None = None,
+                  date: str | None = None) -> dict:
+    """Convert a pytest-benchmark payload into one snapshot record.
+
+    Scenario rates come from each benchmark's ``extra_info``: ``cycles``
+    gives cycles/sec, ``instructions`` (or the replayed ``trace_length``)
+    gives instr/sec.  Scenarios without that extra info just record times.
+    """
+    scenarios: dict[str, dict] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        extra = bench.get("extra_info", {})
+        mean = stats["mean"]
+        entry: dict = {
+            "mean_seconds": mean,
+            "stddev_seconds": stats["stddev"],
+            "rounds": stats["rounds"],
+            "ops_per_second": 1.0 / mean if mean else 0.0,
+        }
+        cycles = extra.get("cycles")
+        if cycles:
+            entry["cycles"] = cycles
+            entry["cycles_per_second"] = cycles / mean
+        instructions = extra.get("instructions", extra.get("trace_length"))
+        if instructions:
+            entry["instructions"] = instructions
+            entry["instr_per_second"] = instructions / mean
+        scenarios[bench["name"]] = entry
+    return {
+        "date": date or datetime.date.today().isoformat(),
+        "commit": commit if commit is not None else _git_commit(),
+        "python": sys.version.split()[0],
+        "scenarios": scenarios,
+    }
+
+
+def append_snapshot(snapshot: dict, out_dir: Path | None = None) -> Path:
+    """Append *snapshot* to ``BENCH_<date>.json`` in *out_dir*; returns path."""
+    out_dir = Path(out_dir) if out_dir is not None else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{snapshot['date']}.json"
+    history: list = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            history = [history]
+    history.append(snapshot)
+    path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the simulator benchmarks and append a "
+                    "BENCH_<date>.json snapshot.")
+    parser.add_argument("-k", dest="keyword", default=None, metavar="EXPR",
+                        help="pytest -k filter for a subset of scenarios")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="snapshot directory (default: repo root)")
+    args = parser.parse_args(argv)
+    raw = run_benchmarks(keyword=args.keyword)
+    snapshot = snapshot_from(raw)
+    path = append_snapshot(
+        snapshot, Path(args.out_dir) if args.out_dir else None)
+    for name, entry in sorted(snapshot["scenarios"].items()):
+        rate = entry.get("cycles_per_second")
+        rate_text = f"  {rate:>12,.0f} cycles/s" if rate else ""
+        print(f"{name:40s} {entry['mean_seconds'] * 1e3:9.2f} ms{rate_text}")
+    print(f"snapshot ({len(snapshot['scenarios'])} scenarios, commit "
+          f"{snapshot['commit']}) appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ Installed as the ``hidisc`` console script::
     hidisc trace --quick --bench pointer --out trace.json
     hidisc cache stats
     hidisc cache clear
+    hidisc bench                           # perf snapshot -> BENCH_<date>.json
 
 Experiment commands run compilations through a persistent on-disk cache
 (``--cache-dir``, default ``$HIDISC_CACHE_DIR`` or ``~/.cache/hidisc``;
@@ -44,7 +45,7 @@ from .table1 import table1
 from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
-             "suite", "stats", "trace", "cache", "faults")
+             "suite", "stats", "trace", "cache", "faults", "bench")
 
 _CACHE_ACTIONS = ("stats", "clear")
 
@@ -127,7 +128,48 @@ def build_parser() -> argparse.ArgumentParser:
                            default=128, metavar="CYCLES",
                            help="occupancy sampling period in cycles, "
                                 "0 disables (default 128)")
+    bench = parser.add_argument_group(
+        "bench options", "simulator performance snapshots "
+                         "(benchmarks/record.py)")
+    bench.add_argument("--bench-filter", metavar="EXPR", default=None,
+                       help="pytest -k filter selecting benchmark "
+                            "scenarios (default: all)")
+    bench.add_argument("--bench-dir", metavar="DIR", default=None,
+                       help="directory for the BENCH_<date>.json snapshot "
+                            "(default: repository root)")
     return parser
+
+
+def _run_bench(args, payload: dict) -> int:
+    """The 'bench' command: run the pytest-benchmark suite and append a
+    BENCH_<date>.json snapshot (see benchmarks/record.py)."""
+    import importlib.util
+    from pathlib import Path
+
+    record_py = (Path(__file__).resolve().parents[3]
+                 / "benchmarks" / "record.py")
+    if not record_py.exists():
+        print(f"hidisc bench: {record_py} not found (the benchmark "
+              f"harness ships with the repository, not the installed "
+              f"package)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("_hidisc_bench_record",
+                                                  record_py)
+    record = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(record)
+
+    raw = record.run_benchmarks(keyword=args.bench_filter)
+    snapshot = record.snapshot_from(raw)
+    out_dir = Path(args.bench_dir) if args.bench_dir else None
+    path = record.append_snapshot(snapshot, out_dir)
+    for name, entry in sorted(snapshot["scenarios"].items()):
+        rate = entry.get("cycles_per_second")
+        rate_text = f"  {rate:>12,.0f} cycles/s" if rate else ""
+        print(f"{name:40s} {entry['mean_seconds'] * 1e3:9.2f} ms{rate_text}")
+    print(f"snapshot ({len(snapshot['scenarios'])} scenarios, commit "
+          f"{snapshot['commit']}) appended to {path}")
+    payload["bench"] = snapshot
+    return 0
 
 
 def _non_negative(text: str) -> int:
@@ -291,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         code = _run_faults(args, config, progress, cache, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command == "bench":
+        code = _run_bench(args, payload)
         if args.json:
             path = write_json(args.json, payload)
             print(f"\nraw results written to {path}", file=sys.stderr)

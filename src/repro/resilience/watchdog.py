@@ -8,7 +8,12 @@ later.  The :class:`ProgressWatchdog` replaces that:
 * **Structural deadlock** — a cycle makes no progress *and* no wake-up
   event exists anywhere (nothing in flight, no future-ready instruction,
   no pending branch resolution).  By construction nothing can ever change
-  again, so the watchdog raises immediately.
+  again, so the watchdog raises immediately.  The "no event" probe is the
+  machine's completion calendar (``Machine._skip_to_next_event``) — every
+  in-flight completion is bucketed there, so the check is O(1) instead of
+  a scan over ``complete_at``; an injected *dropped* completion never
+  enters the calendar, which is exactly how a lost queue transfer starves
+  its consumers into this error.
 * **Livelock safety net** — events keep firing but no instruction has
   dispatched/issued/committed for ``window`` cycles (default
   ``MachineConfig.watchdog_window``).

@@ -8,11 +8,28 @@ One :class:`TimingCore` models one processor (superscalar, CP, AP or CMP):
   last-writer map, memory dependences via a last-store map, and queue
   dependences (LDQ/SDQ matching and capacity) from the machine's
   :class:`~repro.sim.trace.QueuePlan`.
-* **issue** — oldest-first wakeup/select over the window, limited by issue
-  width, functional-unit issue bandwidth and memory ports.  Memory
-  operations access the shared :class:`~repro.sim.hierarchy.MemoryHierarchy`
-  at issue time and complete when the (possibly merged) fill lands.
+* **issue** — oldest-first wakeup/select, limited by issue width,
+  functional-unit issue bandwidth and memory ports.  Memory operations
+  access the shared :class:`~repro.sim.hierarchy.MemoryHierarchy` at issue
+  time and complete when the (possibly merged) fill lands.
 * **commit** — in-order retirement, up to the commit width.
+
+Scheduling is **event-driven** (wakeup lists, not polling): every window
+entry carries a ``pending`` count of incomplete producers, computed once at
+dispatch; for each still-incomplete producer the entry registers on the
+machine's per-gid wakeup list.  When a completion lands (the machine's
+completion calendar fires the producer's bucket — see
+:meth:`repro.sim.decoupled.Machine._land_completions`), waiting consumers
+decrement ``pending`` and, on reaching zero, move into the core's
+age-ordered **ready pool**.  ``issue`` therefore walks only ready entries
+— never the whole window — and stall classification reads the head's
+cached counters instead of re-polling every dependence.
+
+This is cycle-for-cycle identical to the old polling scheduler: readiness
+is monotonic (``complete_at`` is written exactly once per gid, always in
+the strict future, and ``min_ready`` is non-decreasing in dispatch order
+within a core), so pushing readiness at completion time selects exactly
+the entries the per-cycle re-scan used to find.
 
 All cross-instruction communication goes through the machine-owned
 ``complete_at`` array indexed by *global id*, so dependences freely cross
@@ -23,10 +40,10 @@ nothing outside their own thread.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
 
 from ..config import CoreConfig
 from ..isa.instruction import Instruction
-from ..isa.opcodes import FuClass, Op
 from ..telemetry.cpi import new_stack
 from .fu import FuPools
 
@@ -36,12 +53,17 @@ _STORE_GRANULE = ~7  # memory dependences tracked at 8-byte granularity
 class WindowEntry:
     """One in-flight instruction in a core's scheduling window."""
 
-    __slots__ = ("gid", "pos", "instr", "addr", "deps", "min_ready",
-                 "issued", "is_prefetch", "wait_class")
+    __slots__ = ("gid", "seq", "pos", "instr", "addr", "deps", "min_ready",
+                 "issued", "is_prefetch", "wait_class", "pending",
+                 "block_class", "owner", "d")
 
     def __init__(self, gid: int, pos: int, instr: Instruction, addr: int,
-                 deps: list[int], min_ready: int, is_prefetch: bool):
+                 deps: list[int], min_ready: int, is_prefetch: bool,
+                 seq: int = 0):
         self.gid = gid
+        #: per-core dispatch sequence number — the age order the ready pool
+        #: and issue arbitration preserve.
+        self.seq = seq
         self.pos = pos
         self.instr = instr
         self.addr = addr
@@ -53,6 +75,21 @@ class WindowEntry:
         #: after issue ('mem_l1'/'mem_l2'/'mem_mem'; None means 'execute').
         #: Only filled in when CPI telemetry is on.
         self.wait_class: str | None = None
+        #: number of producers whose completion has not yet landed; the
+        #: entry enters the ready pool when this reaches zero.
+        self.pending = 0
+        #: lazily cached dependence-stall classification ('ldq_empty',
+        #: 'queue_full', 'sdq_empty' or 'data_dep') — computed from static
+        #: flags on first use, so repeated stall cycles pay one attribute
+        #: read instead of re-deriving it.
+        self.block_class: str | None = None
+        #: owning TimingCore (set at dispatch; the machine's completion
+        #: landing uses it to route woken entries into the right pool).
+        self.owner = None
+        #: the static :class:`~repro.sim.decode.DecodedOp` record for this
+        #: instruction (set at dispatch; issue and telemetry read the
+        #: pre-resolved FU index, latency and queue flags from it).
+        self.d = None
 
 
 class CoreStats:
@@ -84,6 +121,11 @@ class TimingCore:
         self.machine = machine
         self.fu = FuPools(config)
         self.window: deque[WindowEntry] = deque()
+        #: age-ordered pool of dispatched, dependence-free entries awaiting
+        #: an issue slot: a heap of (seq, entry), so the oldest ready entry
+        #: is always at the top.
+        self.ready: list[tuple[int, WindowEntry]] = []
+        self._seq = 0
         #: (gid, pos, min_ready, thread_last_writer-or-None) awaiting dispatch
         self.instr_queue: deque = deque()
         self.instr_queue_capacity = machine.instr_queue_capacity(name)
@@ -126,167 +168,217 @@ class TimingCore:
 
     # ------------------------------------------------------------------
     def dispatch(self, now: int) -> int:
-        """Move instructions from the queue into the window; returns count."""
+        """Move instructions from the queue into the window; returns count.
+
+        Besides building the dependence edges, dispatch *registers* the
+        entry for wakeup: producers whose completion has not landed yet get
+        the entry appended to their wakeup list, and entries with no such
+        producer go straight into the ready pool.
+        """
         machine = self.machine
         trace = machine.trace
-        text = machine.text_for(self)
+        decoded = machine.decoded
         plan = machine.queue_plan
+        complete_at = machine.complete_at
+        wakeup = machine.wakeup
+        instr_queue = self.instr_queue
+        window = self.window
+        ready = self.ready
+        lw = self.last_writer
+        last_store = self.last_store
+        is_prefetch = self.is_prefetch_core
+        # CMAS copies on the CMP run outside the LDQ/SDQ protocol (the CMP
+        # only updates cache state) and carry no memory-order edges.
+        use_plan = plan is not None and not is_prefetch
+        track_mem = not is_prefetch
+        q_track = self._q_track
+        ldq_cap = machine.ldq_capacity
+        sdq_cap = machine.sdq_capacity
+        pop = instr_queue.popleft
+        seq = self._seq
         dispatched = 0
         width = self.config.issue_width
-        while (self.instr_queue and dispatched < width
-               and len(self.window) < self.config.window):
-            gid, pos, min_ready, extra_deps = self.instr_queue[0]
+        window_cap = self.config.window
+        while (instr_queue and dispatched < width
+               and len(window) < window_cap):
+            gid, pos, min_ready, extra_deps = pop()
             dyn = trace[pos]
-            instr = text[dyn.pc]
-            lw = self.last_writer
-            ann = instr.ann
+            d = decoded[dyn.pc]
             deps: list[int] = list(extra_deps) if extra_deps else []
-            # Register sources — "$LDQ"-flagged operands take their value
-            # (and dependence) from the queue instead of the register file.
-            if ann.ldq_rs1 or ann.ldq_rs2:
-                srcs = [
-                    reg for reg, flagged in
-                    ((instr.rs1, ann.ldq_rs1), (instr.rs2, ann.ldq_rs2))
-                    if not flagged and reg != 0
-                    and reg in set(instr.source_regs())
-                ]
-            else:
-                srcs = instr.source_regs()
-            for reg in srcs:
+            # Register sources — "$LDQ"-flagged operands were dropped from
+            # ``d.srcs`` at decode (their value arrives through the queue).
+            for reg in d.srcs:
                 producer = lw.get(reg)
                 if producer is not None:
                     deps.append(producer)
-            info = instr.op.info
-            # Queue dependences: CMAS copies on the CMP run outside the
-            # LDQ/SDQ protocol (the CMP only updates cache state).
-            if plan is not None and not self.is_prefetch_core:
-                if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+            if use_plan and d.has_queue:
+                if d.reads_ldq_any:
                     deps.extend(plan.ldq_match[pos])
-                elif info.writes_ldq or (instr.is_load and ann.to_ldq):
-                    seq = plan.ldq_push_seq[pos]
-                    slot = seq - machine.ldq_capacity
+                elif d.ldq_push:
+                    slot = plan.ldq_push_seq[pos] - ldq_cap
                     if slot >= 0:
                         deps.append(plan.ldq_pop_pos[slot])
-                if info.writes_sdq or ann.to_sdq:
-                    seq = plan.sdq_push_seq[pos]
-                    slot = seq - machine.sdq_capacity
+                if d.sdq_push:
+                    slot = plan.sdq_push_seq[pos] - sdq_cap
                     if slot >= 0:
                         deps.append(plan.sdq_pop_pos[slot])
-                elif instr.is_store and ann.sdq_data:
+                elif d.sdq_pop:
                     deps.append(plan.sdq_match[pos])
-            is_prefetch = self.is_prefetch_core
-            if instr.is_mem and not is_prefetch:
-                granule = dyn.addr & _STORE_GRANULE
-                producer = self.last_store.get(granule)
-                if producer is not None:
-                    deps.append(producer)
-                if instr.is_store:
-                    self.last_store[granule] = gid
-            dest = instr.dest_reg()
-            if dest is not None:
-                lw[dest] = gid
-            if self._q_track and instr.is_store and ann.sdq_data:
+            if q_track and d.sdq_pop:
                 # The store's address sits in the SAQ from dispatch until
                 # the SDQ data arrives and the store issues.
                 machine.queue_delta("SAQ", 1, now)
-            self.instr_queue.popleft()
-            self.window.append(
-                WindowEntry(gid, pos, instr, dyn.addr, deps, min_ready,
-                            is_prefetch)
-            )
+            if track_mem and d.is_mem:
+                granule = dyn.addr & _STORE_GRANULE
+                producer = last_store.get(granule)
+                if producer is not None:
+                    deps.append(producer)
+                if d.is_store:
+                    last_store[granule] = gid
+            dest = d.dest
+            if dest is not None:
+                lw[dest] = gid
+            entry = WindowEntry(gid, pos, d.instr, dyn.addr, deps, min_ready,
+                                is_prefetch, seq)
+            entry.owner = self
+            entry.d = d
+            entry.block_class = d.block_class
+            seq += 1
+            # Wakeup registration: count producers whose completion has not
+            # landed; each one holds a reference back to this entry.
+            pending = 0
+            for dep in deps:
+                t = complete_at[dep]
+                if t is None or t > now:
+                    pending += 1
+                    waiters = wakeup.get(dep)
+                    if waiters is None:
+                        wakeup[dep] = [entry]
+                    else:
+                        waiters.append(entry)
+            entry.pending = pending
+            if not pending:
+                heappush(ready, (entry.seq, entry))
+            window.append(entry)
             dispatched += 1
-        if len(self.window) > self.stats.max_window:
-            self.stats.max_window = len(self.window)
+        self._seq = seq
+        if len(window) > self.stats.max_window:
+            self.stats.max_window = len(window)
         return dispatched
 
     # ------------------------------------------------------------------
     def issue(self, now: int) -> int:
-        """Wakeup/select over the window; returns number issued."""
+        """Oldest-first select over the ready pool; returns number issued.
+
+        Entries here have no outstanding dependences, so the only per-entry
+        checks left are ``min_ready`` (a front-end pipeline floor that is
+        non-decreasing in age order — once the head is too young, everything
+        younger is too) and FU/port arbitration.  FU-starved entries stay in
+        the pool for the next cycle.
+        """
+        ready = self.ready
+        if not ready:
+            return 0
+        if ready[0][1].min_ready > now:
+            return 0
         machine = self.machine
         complete_at = machine.complete_at
+        calendar = machine.calendar
+        cal_heap = machine.cal_heap
         hierarchy = machine.hierarchy
+        access = hierarchy.access
+        stats = self.stats
+        cpi_on = self._cpi_on
+        tel_issue = self._tel_issue
+        lat_l1 = self._lat_l1
+        faults = self._faults if not self.is_prefetch_core else None
         self.fu.new_cycle()
+        fu_take = self.fu.take_idx
         issued = 0
         width = self.config.issue_width
-        for entry in self.window:
-            if issued >= width:
+        deferred: list[tuple[int, WindowEntry]] | None = None
+        while ready and issued < width:
+            item = ready[0]
+            entry = item[1]
+            if entry.min_ready > now:
                 break
-            if entry.issued or entry.min_ready > now:
+            heappop(ready)
+            d = entry.d
+            if not fu_take(d.fu):
+                if deferred is None:
+                    deferred = [item]
+                else:
+                    deferred.append(item)
                 continue
-            ready = True
-            for dep in entry.deps:
-                t = complete_at[dep]
-                if t is None or t > now:
-                    ready = False
-                    break
-            if not ready:
-                continue
-            info = entry.instr.op.info
-            fu = info.fu
-            if not self.fu.take(fu):
-                continue
-            if info.is_load or info.is_store:
-                latency = hierarchy.access(
-                    entry.addr, is_write=info.is_store, now=now,
+            if d.is_mem:
+                is_store = d.is_store
+                latency = access(
+                    entry.addr, is_write=is_store, now=now,
                     is_prefetch=entry.is_prefetch,
                 )
-                if info.is_store:
+                if is_store:
                     # Stores drain through a store buffer: the pipeline does
                     # not wait for the fill, only for the L1 write port.
-                    latency = hierarchy.l1.config.latency
-                self.stats.issued_mem += 1
-                if self._cpi_on:
-                    if latency <= self._lat_l1:
+                    latency = lat_l1
+                stats.issued_mem += 1
+                if cpi_on:
+                    if latency <= lat_l1:
                         entry.wait_class = "mem_l1"
                     elif latency <= self._lat_l1l2:
                         entry.wait_class = "mem_l2"
                     else:
                         entry.wait_class = "mem_mem"
             else:
-                latency = info.latency
-            if self._faults is not None and not self.is_prefetch_core:
-                ann = entry.instr.ann
-                if (info.writes_ldq or info.writes_sdq or ann.to_sdq
-                        or (info.is_load and ann.to_ldq)):
-                    extra = self._faults.on_queue_push(entry.gid)
-                    if extra is None:
-                        # Transfer dropped: the completion never lands, so
-                        # the consumer starves and the watchdog raises a
-                        # forensic DeadlockError — never a silent result.
-                        entry.issued = True
-                        issued += 1
-                        continue
-                    latency += extra
+                latency = d.latency
+            if faults is not None and d.queue_push:
+                extra = faults.on_queue_push(entry.gid)
+                if extra is None:
+                    # Transfer dropped: the completion never lands, so the
+                    # consumer starves and the watchdog raises a forensic
+                    # DeadlockError — never a silent result.
+                    entry.issued = True
+                    issued += 1
+                    continue
+                latency += extra
             entry.issued = True
-            complete_at[entry.gid] = now + latency
+            gid = entry.gid
+            t = now + latency
+            complete_at[gid] = t
+            # Completion calendar: bucket this completion so the machine
+            # lands it (and wakes its consumers) exactly at cycle t.
+            bucket = calendar.get(t)
+            if bucket is None:
+                calendar[t] = [gid]
+                heappush(cal_heap, t)
+            else:
+                bucket.append(gid)
             issued += 1
-            if self._tel_issue:
-                self._on_issue(entry, info, now, latency)
-            if entry.instr.is_control:
-                machine.note_branch_issue(entry.gid, now + latency)
+            if tel_issue:
+                self._on_issue(entry, d, now, latency)
+            if d.is_control:
+                machine.note_branch_issue(gid, t)
+        if deferred:
+            for item in deferred:
+                heappush(ready, item)
         return issued
 
-    def _on_issue(self, entry: WindowEntry, info, now: int,
+    def _on_issue(self, entry: WindowEntry, d, now: int,
                   latency: int) -> None:
         """Telemetry tap at issue: event emission + queue-flow counters."""
         machine = self.machine
-        instr = entry.instr
         if self._events_on:
             args = {"gid": entry.gid, "pos": entry.pos}
-            if info.is_load or info.is_store:
+            if d.is_mem:
                 args["addr"] = entry.addr
-            machine.sink.duration(self.name, instr.op.mnemonic, now,
-                                  latency, args)
+            machine.sink.duration(self.name, d.mnemonic, now, latency, args)
         if self._q_track:
-            ann = instr.ann
-            if info.writes_ldq or (info.is_load and ann.to_ldq):
+            if d.ldq_push:
                 machine.queue_delta("LDQ", 1, now)
-            pops = int(info.reads_ldq) + int(ann.ldq_rs1) + int(ann.ldq_rs2)
-            if pops:
-                machine.queue_delta("LDQ", -pops, now)
-            if info.writes_sdq or ann.to_sdq:
+            if d.ldq_pops:
+                machine.queue_delta("LDQ", -d.ldq_pops, now)
+            if d.sdq_push:
                 machine.queue_delta("SDQ", 1, now)
-            elif info.is_store and ann.sdq_data:
+            elif d.sdq_pop:
                 machine.queue_delta("SDQ", -1, now)
                 machine.queue_delta("SAQ", -1, now)
 
@@ -294,17 +386,19 @@ class TimingCore:
     def commit(self, now: int) -> int:
         """In-order retirement from the window head; returns count."""
         complete_at = self.machine.complete_at
+        commit_log = self._commit_log
         committed = 0
         window = self.window
+        pop = window.popleft
         while window and committed < self.config.commit_width:
             head = window[0]
             t = complete_at[head.gid] if head.issued else None
             if t is None or t > now:
                 break
-            window.popleft()
+            pop()
             committed += 1
-            if self._commit_log is not None:
-                self._commit_log.append((self.name, head.gid, head.pos))
+            if commit_log is not None:
+                commit_log.append((self.name, head.gid, head.pos))
         self.stats.committed += committed
         self._committed_now = committed
         if committed == 0 and window:
@@ -312,23 +406,37 @@ class TimingCore:
             self._attribute_stall(window[0], now)
         return committed
 
-    def _attribute_stall(self, head: WindowEntry, now: int) -> None:
-        """Classify why the window head has not retired (LoD accounting)."""
-        if head.issued:
-            return
-        complete_at = self.machine.complete_at
+    @staticmethod
+    def _block_reason(head: WindowEntry) -> str:
+        """Why a dependence-blocked head is blocked (from static flags)."""
         info = head.instr.op.info
-        blocked = any(
-            complete_at[d] is None or complete_at[d] > now for d in head.deps
-        )
-        if not blocked:
-            return
         ann = head.instr.ann
         if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
+            return "ldq_empty"
+        if info.writes_ldq or info.writes_sdq or ann.to_ldq or ann.to_sdq:
+            return "queue_full"
+        if head.instr.is_store and ann.sdq_data:
+            return "sdq_empty"
+        return "data_dep"
+
+    def _attribute_stall(self, head: WindowEntry, now: int) -> None:
+        """Classify why the window head has not retired (LoD accounting).
+
+        The head's ``pending`` counter already says whether a producer's
+        completion is outstanding, and the blocked-reason is a static
+        property of the instruction, cached on first use — no dependence
+        re-polling.
+        """
+        if head.issued or not head.pending:
+            return
+        reason = head.block_class
+        if reason is None:
+            reason = head.block_class = self._block_reason(head)
+        if reason == "ldq_empty":
             self.stats.ldq_empty_stalls += 1
-        elif info.writes_ldq or info.writes_sdq or ann.to_ldq or ann.to_sdq:
+        elif reason == "queue_full":
             self.stats.queue_full_stalls += 1
-        elif head.instr.is_store and ann.sdq_data:
+        elif reason == "sdq_empty":
             self.stats.sdq_empty_stalls += 1
 
     # ------------------------------------------------------------------
@@ -366,27 +474,11 @@ class TimingCore:
                 bucket = head.wait_class or "execute"
             elif head.min_ready > now:
                 bucket = "frontend"
+            elif not head.pending:
+                bucket = "fu_contention"
             else:
-                complete_at = machine.complete_at
-                blocked = False
-                for dep in head.deps:
-                    t = complete_at[dep]
-                    if t is None or t > now:
-                        blocked = True
-                        break
-                if not blocked:
-                    bucket = "fu_contention"
-                else:
-                    info = head.instr.op.info
-                    ann = head.instr.ann
-                    if info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
-                        bucket = "ldq_empty"
-                    elif (info.writes_ldq or info.writes_sdq
-                          or ann.to_ldq or ann.to_sdq):
-                        bucket = "queue_full"
-                    elif head.instr.is_store and ann.sdq_data:
-                        bucket = "sdq_empty"
-                    else:
-                        bucket = "data_dep"
+                bucket = head.block_class
+                if bucket is None:
+                    bucket = head.block_class = self._block_reason(head)
         self.cpi[bucket] += 1
         self._last_bucket = bucket

@@ -19,24 +19,31 @@ model             separated   cmp_enabled
 ================  ==========  ============
 
 The machine owns the shared front end (fetch + separator + branch
-predictor), the shared memory hierarchy, the global ``complete_at`` array
-and the simulation loop.  The loop is cycle-stepped but *skips dead time*:
-when a cycle makes no progress (every core stalled on outstanding fills),
-the clock jumps to the next completion event — a large win when all cores
-sit behind a 120-cycle memory access.
+predictor), the shared memory hierarchy, the global ``complete_at`` array,
+the **completion calendar** and the simulation loop.  Scheduling is
+event-driven: when an instruction issues, its completion is bucketed on the
+calendar (cycle -> gids); at the top of every simulated cycle the machine
+*lands* all due buckets, waking the consumers registered on each gid's
+wakeup list (see :mod:`repro.sim.core`).  The loop is cycle-stepped but
+*skips dead time*: when a cycle makes no progress (every core stalled on
+outstanding fills), the clock jumps to the next completion or fetch event
+— read straight off the calendar instead of re-scanning every window — a
+large win when all cores sit behind a 120-cycle memory access.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 from ..asm.program import Program
 from ..config import MachineConfig
 from ..errors import CycleLimitError, SimulationError
 from ..isa.instruction import Instruction
-from ..isa.opcodes import Op
 from ..resilience.watchdog import ProgressWatchdog
 from ..telemetry import Telemetry
 from .branch import BranchPredictor
 from .core import TimingCore
+from .decode import CTRL_COND, CTRL_INDIRECT, decode_program
 from .functional import DynInstr
 from .hierarchy import MemoryHierarchy
 from .machine import RunResult
@@ -119,6 +126,19 @@ class Machine:
         self.complete_at: list[int | None] = [None] * (len(trace) + cmas_extra)
         self._next_cmas_gid = len(trace)
 
+        #: static decode table indexed by PC (see repro.sim.decode) — every
+        #: per-instruction property the scheduler needs, resolved once.
+        self.decoded = decode_program(program.text)
+
+        # Event-driven scheduling state (see repro.sim.core): per-gid wakeup
+        # lists of window entries awaiting that producer's completion, and
+        # the completion calendar — cycle -> gids completing then, with a
+        # heap over the bucketed cycles so both landing and dead-time
+        # skipping read the next event in O(log buckets).
+        self.wakeup: dict[int, list] = {}
+        self.calendar: dict[int, list[int]] = {}
+        self.cal_heap: list[int] = []
+
         self.cores: list[TimingCore] = []
         if self.separated:
             self.cp = TimingCore("CP", config.cp, self)
@@ -179,7 +199,7 @@ class Machine:
     # ------------------------------------------------------------------
     def _separator_step(self, now: int) -> int:
         trace = self.trace
-        text = self.program.text
+        decoded = self.decoded
         n = len(trace)
         if self._waiting_branch is not None:
             resolved = self.complete_at[self._waiting_branch]
@@ -188,32 +208,46 @@ class Machine:
             self._waiting_branch = None
 
         fetched = 0
-        route = self.queue_plan.route if self.separated else None
+        fetch_width = self.config.fetch_width
+        pos = self._fetch_pos
+        separated = self.separated
+        route = self.queue_plan.route if separated else None
+        cp = self.cp if separated else self.main
+        ap = self.ap if separated else None
         by_trigger = self.cmas_plan.by_trigger if self.cmp_enabled else None
-        while fetched < self.config.fetch_width and self._fetch_pos < n:
-            pos = self._fetch_pos
+        resolve = self.predictor.resolve
+        in_warmup = self._in_warmup
+        min_ready = now + 1
+        while fetched < fetch_width and pos < n:
             dyn = trace[pos]
-            instr = text[dyn.pc]
-            if self.separated:
-                core = self.ap if route[pos] == ROUTE_AP else self.cp
-            else:
-                core = self.main
-            if not core.queue_has_room():
+            core = ap if separated and route[pos] == ROUTE_AP else cp
+            iq = core.instr_queue
+            if len(iq) >= core.instr_queue_capacity:
                 break
             if by_trigger is not None and pos in by_trigger:
                 self._fork_threads(by_trigger[pos], now)
-            core.enqueue(pos, pos, now + 1)
-            self._fetch_pos = pos + 1
+            iq.append((pos, pos, min_ready, ()))
+            pos += 1
+            self._fetch_pos = pos
             fetched += 1
-            if self._in_warmup and self._fetch_pos >= self._warmup_pos:
+            if in_warmup and pos >= self._warmup_pos:
                 self._begin_measurement(now)
+                in_warmup = False
 
-            if instr.is_control and instr.op is not Op.HALT:
-                if self._predict(instr, dyn, pos):
-                    self._waiting_branch = pos
+            kind = decoded[dyn.pc].ctrl_kind
+            if kind:
+                if kind == CTRL_COND:
+                    taken = dyn.next_pc != dyn.pc + 1
+                    wait = resolve(dyn.pc, taken, dyn.next_pc, "cond")
+                elif kind == CTRL_INDIRECT:
+                    wait = resolve(dyn.pc, True, dyn.next_pc, "indirect")
+                else:  # J / JAL: target known at decode.
+                    wait = resolve(dyn.pc, True, dyn.next_pc, "direct")
+                if wait:
+                    self._waiting_branch = pos - 1
                     if self._tel_events:
                         self.sink.instant("frontend", "mispredict", now,
-                                          {"pos": pos, "pc": dyn.pc})
+                                          {"pos": pos - 1, "pc": dyn.pc})
                     break
         return fetched
 
@@ -239,16 +273,6 @@ class Machine:
                 # the current cycle happens later this iteration, so stacks
                 # cover exactly the measurement window.
                 core.reset_cpi()
-
-    def _predict(self, instr: Instruction, dyn: DynInstr, pos: int) -> bool:
-        """Consult/update the predictor; True if the front end must wait."""
-        if instr.is_branch:
-            taken = dyn.next_pc != dyn.pc + 1
-            return self.predictor.resolve(dyn.pc, taken, dyn.next_pc, "cond")
-        if instr.op is Op.JR:
-            return self.predictor.resolve(dyn.pc, True, dyn.next_pc, "indirect")
-        # J / JAL: target known at decode.
-        return self.predictor.resolve(dyn.pc, True, dyn.next_pc, "direct")
 
     def _fork_threads(self, thread_indices: list[int], now: int) -> None:
         max_contexts = self.config.cmas.max_contexts
@@ -303,13 +327,21 @@ class Machine:
         cpi_on = self._tel_cpi
         sampler = self._sampler
         watchdog = self.watchdog
+        cal_heap = self.cal_heap
         while True:
+            if cal_heap and cal_heap[0] <= now:
+                self._land_completions(now)
             progress = self._separator_step(now)
             for core in cores:
-                progress += core.dispatch(now)
-                progress += core.issue(now)
+                if core.instr_queue:
+                    progress += core.dispatch(now)
+                if core.ready:
+                    progress += core.issue(now)
             for core in cores:
-                progress += core.commit(now)
+                if core.window:
+                    progress += core.commit(now)
+                else:
+                    core._committed_now = 0
 
             main_done = self._fetch_pos >= n and all(
                 c.drained for c in cores if c.name != "CMP"
@@ -346,24 +378,57 @@ class Machine:
                                       cycle=now)
         return self._result(now)
 
+    def _land_completions(self, now: int) -> None:
+        """Land every calendar bucket due at or before *now*.
+
+        For each completing gid, consumers registered on its wakeup list
+        drop one pending producer; entries reaching zero enter their core's
+        ready pool.  A gid's wakeup list is consumed exactly once — later
+        dispatches see its ``complete_at`` already in the past and never
+        register.
+        """
+        cal_heap = self.cal_heap
+        calendar = self.calendar
+        wakeup = self.wakeup
+        while cal_heap and cal_heap[0] <= now:
+            t = heappop(cal_heap)
+            for gid in calendar.pop(t):
+                waiters = wakeup.pop(gid, None)
+                if waiters is None:
+                    continue
+                for entry in waiters:
+                    pending = entry.pending - 1
+                    entry.pending = pending
+                    if not pending:
+                        heappush(entry.owner.ready, (entry.seq, entry))
+
     def _skip_to_next_event(self, now: int) -> int | None:
-        """Next cycle at which anything can happen; None = nothing ever can."""
+        """Next cycle at which anything can happen; None = nothing ever can.
+
+        Read off the completion calendar (every in-flight completion is
+        bucketed there), the pending branch resolution and the front-end
+        floors — no window scanning.
+        """
         candidates: list[int] = []
-        complete_at = self.complete_at
+        cal_heap = self.cal_heap
+        if cal_heap:
+            candidates.append(cal_heap[0])
         for core in self.cores:
-            for entry in core.window:
-                if entry.issued:
-                    t = complete_at[entry.gid]
-                    if t is not None and t > now:
-                        candidates.append(t)
-                elif entry.min_ready > now:
-                    candidates.append(entry.min_ready)
+            # Front-end pipeline floors.  Both are safety nets: an entry is
+            # fetched (and the fetch counts as progress) the cycle before
+            # its min_ready, so a zero-progress cycle can only see floors
+            # already in the past.
+            ready = core.ready
+            if ready:
+                min_ready = ready[0][1].min_ready
+                if min_ready > now:
+                    candidates.append(min_ready)
             if core.instr_queue:
                 min_ready = core.instr_queue[0][2]
                 if min_ready > now:
                     candidates.append(min_ready)
         if self._waiting_branch is not None:
-            t = complete_at[self._waiting_branch]
+            t = self.complete_at[self._waiting_branch]
             if t is not None:
                 candidates.append(t + self.config.branch.mispredict_penalty)
         if not candidates:

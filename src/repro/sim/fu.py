@@ -5,6 +5,9 @@ cycle*, not occupancy.  (sim-outorder models some units as unpipelined;
 for the DIS kernels the difference is negligible next to memory latency,
 and the simplification keeps the wakeup loop cheap — a per-cycle counter
 reset instead of per-unit busy lists.)
+
+Counters are plain lists indexed by :data:`FU_INDEX` (the static decode
+table carries the index), so the select loop never hashes an Enum.
 """
 
 from __future__ import annotations
@@ -12,12 +15,18 @@ from __future__ import annotations
 from ..config import CoreConfig
 from ..isa.opcodes import FuClass
 
+#: Dense index for each FU class — the decode table stores this int so the
+#: issue loop does list indexing instead of Enum-keyed dict lookups.
+FU_INDEX: dict[FuClass, int] = {fu: i for i, fu in enumerate(FuClass)}
+
 
 class FuPools:
     """Per-cycle issue counters for one core's functional units."""
 
+    __slots__ = ("limits", "_used", "_zeros")
+
     def __init__(self, config: CoreConfig):
-        self.limits: dict[FuClass, int] = {
+        by_class: dict[FuClass, int] = {
             FuClass.IALU: config.int_alus,
             FuClass.IMULDIV: config.int_muldivs,
             FuClass.FALU: config.fp_alus if config.has_fp else 0,
@@ -25,19 +34,27 @@ class FuPools:
             FuClass.LSU: config.mem_ports if config.has_lsu else 0,
             FuClass.NONE: 1 << 30,
         }
-        self._used: dict[FuClass, int] = {fu: 0 for fu in self.limits}
+        self.limits: list[int] = [by_class[fu] for fu in FuClass]
+        self._zeros: list[int] = [0] * len(self.limits)
+        self._used: list[int] = list(self._zeros)
 
     def new_cycle(self) -> None:
         """Reset issue counters at the start of a cycle."""
-        for fu in self._used:
-            self._used[fu] = 0
+        self._used[:] = self._zeros
 
+    def take_idx(self, idx: int) -> bool:
+        """Claim one issue slot by FU index; False if the pool is empty."""
+        used = self._used
+        if used[idx] >= self.limits[idx]:
+            return False
+        used[idx] += 1
+        return True
+
+    # Enum-keyed conveniences (tests / diagnostics; not on the hot path).
     def available(self, fu: FuClass) -> bool:
-        return self._used[fu] < self.limits[fu]
+        idx = FU_INDEX[fu]
+        return self._used[idx] < self.limits[idx]
 
     def take(self, fu: FuClass) -> bool:
         """Claim one issue slot; returns False if the pool is exhausted."""
-        if self._used[fu] >= self.limits[fu]:
-            return False
-        self._used[fu] += 1
-        return True
+        return self.take_idx(FU_INDEX[fu])

@@ -22,8 +22,8 @@ from dataclasses import dataclass
 from ..asm.program import DATA_BASE, MEMORY_BYTES, STACK_TOP, Program
 from ..errors import SimulationError
 from ..isa.instruction import Instruction, Stream
-from ..isa.opcodes import Format, Op
-from ..isa.registers import NAME_TO_REG, NUM_REGS, ZERO
+from ..isa.opcodes import Op
+from ..isa.registers import NAME_TO_REG, ZERO
 from ..utils import sign_extend, to_signed64, to_unsigned64
 from .memory import MainMemory
 from .queues import QueueSet
@@ -88,12 +88,45 @@ class FunctionalSimulator:
 
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 50_000_000,
-            trace: list[DynInstr] | None = None) -> ArchState:
-        """Run to HALT (or *max_steps*); optionally record the trace."""
+            trace: list[DynInstr] | None = None,
+            fast: bool = True) -> ArchState:
+        """Run to HALT (or *max_steps*); optionally record the trace.
+
+        *fast* selects the dispatch-table interpreter (pre-bound per-opcode
+        step closures); ``fast=False`` forces the legacy if/elif loop.  The
+        two are architecturally equivalent (pinned by
+        ``tests/test_functional_fast.py``).
+        """
         state = self.state
         text = self.program.text
         n = len(text)
         steps = 0
+        if fast:
+            table = [_compile_step(pc, instr, state, None)
+                     for pc, instr in enumerate(text)]
+            append = trace.append if trace is not None else None
+            pc = state.pc
+            try:
+                while not state.halted:
+                    if steps >= max_steps:
+                        raise SimulationError(
+                            f"{self.program.name}: exceeded {max_steps} "
+                            f"steps (infinite loop?)"
+                        )
+                    if not 0 <= pc < n:
+                        raise SimulationError(f"pc {pc} outside text segment")
+                    addr, next_pc = table[pc]()
+                    if append is not None:
+                        append(DynInstr(pc, addr, next_pc))
+                    state.pc = pc = next_pc
+                    steps += 1
+            except _Halt:
+                state.halted = True
+                if append is not None:
+                    append(DynInstr(state.pc, -1, state.pc))
+                steps += 1
+            self.instructions_executed += steps
+            return state
         try:
             while not state.halted:
                 if steps >= max_steps:
@@ -140,11 +173,15 @@ class DecoupledFunctionalSimulator:
         self.instructions_executed = 0
 
     def run(self, max_steps: int = 50_000_000,
-            trace: list[DynInstr] | None = None) -> ArchState:
+            trace: list[DynInstr] | None = None,
+            fast: bool = True) -> ArchState:
         """Run to HALT; returns the AP state (owner of memory).
 
         With *trace*, records the interleaved dynamic stream — this is the
-        trace the decoupled timing models replay.
+        trace the decoupled timing models replay.  *fast* selects the
+        dispatch-table interpreter; each static instruction's step closure
+        is pre-bound to its stream's register file (an unannotated
+        instruction still raises at execution time, not at build time).
         """
         program = self.program
         text = program.text
@@ -153,6 +190,43 @@ class DecoupledFunctionalSimulator:
         queues = self.queues
         pc = program.entry
         steps = 0
+        if fast:
+            table: list = []
+            pc_states: list[ArchState | None] = []
+            for spc, instr in enumerate(text):
+                stream = instr.ann.stream
+                st = (cp if stream is Stream.CS
+                      else ap if stream is Stream.AS else None)
+                pc_states.append(st)
+                if st is None:
+                    table.append(_missing_stream_step(spc))
+                else:
+                    table.append(_compile_step(spc, instr, st, queues))
+            append = trace.append if trace is not None else None
+            try:
+                while True:
+                    if steps >= max_steps:
+                        raise SimulationError(
+                            f"{program.name}: exceeded {max_steps} steps in "
+                            f"decoupled functional run"
+                        )
+                    if not 0 <= pc < n:
+                        raise SimulationError(f"pc {pc} outside text segment")
+                    st = pc_states[pc]
+                    if st is not None:
+                        st.pc = pc
+                    addr, next_pc = table[pc]()
+                    if append is not None:
+                        append(DynInstr(pc, addr, next_pc))
+                    pc = next_pc
+                    steps += 1
+            except _Halt:
+                ap.halted = True
+                if append is not None:
+                    append(DynInstr(pc, -1, pc))
+                steps += 1
+            self.instructions_executed += steps
+            return ap
         try:
             while True:
                 if steps >= max_steps:
@@ -449,3 +523,318 @@ def _wr(regs: list, rd: int, value: int) -> None:
     """Write an integer register, keeping ``r0`` hardwired to zero."""
     if rd != ZERO:
         regs[rd] = value
+
+
+# ----------------------------------------------------------------------
+# Dispatch-table fast path.
+#
+# `_compile_step` turns one *static* instruction into a zero-argument step
+# closure with the register file, memory, operand indices, immediate and
+# fall-through pc pre-bound, so the dynamic loop pays one indexed call per
+# instruction instead of walking the if/elif chain and re-reading
+# ``instr`` attributes.  Each closure returns the same ``(addr, next_pc)``
+# pair as `_execute` and raises the same exceptions (pc is baked into the
+# error messages at compile time).
+#
+# Instructions whose execution depends on annotations ("$LDQ" operand
+# shadowing, ``to_ldq``/``to_sdq`` routing, SDQ-fed stores) and int-dest
+# writers of ``r0`` keep the generic interpreter — rare cases where the
+# legacy path's exact shadowing/restore and hardwired-zero semantics are
+# not worth re-proving in closure form.
+# ----------------------------------------------------------------------
+_s64 = to_signed64
+_u64 = to_unsigned64
+
+#: rd <- f(regs[rs1], regs[rs2]) for canonical-int results.
+_ALU_RR = {
+    Op.ADD: lambda a, b: _s64(a + b),
+    Op.SUB: lambda a, b: _s64(a - b),
+    Op.MUL: lambda a, b: _s64(a * b),
+    Op.AND: lambda a, b: _s64(a & b),
+    Op.OR: lambda a, b: _s64(a | b),
+    Op.XOR: lambda a, b: _s64(a ^ b),
+    Op.NOR: lambda a, b: _s64(~(a | b)),
+    Op.SLL: lambda a, b: _s64(a << (b & 63)),
+    Op.SRL: lambda a, b: _s64(_u64(a) >> (b & 63)),
+    Op.SRA: lambda a, b: _s64(a >> (b & 63)),
+    Op.SLT: lambda a, b: int(a < b),
+    Op.SLTU: lambda a, b: int(_u64(a) < _u64(b)),
+    Op.FEQ: lambda a, b: int(a == b),
+    Op.FLT: lambda a, b: int(a < b),
+    Op.FLE: lambda a, b: int(a <= b),
+}
+
+#: rd <- f(regs[rs1], imm) for canonical-int results.
+_ALU_RI = {
+    Op.ADDI: lambda a, imm: _s64(a + imm),
+    Op.MULI: lambda a, imm: _s64(a * imm),
+    Op.ANDI: lambda a, imm: _s64(a & imm),
+    Op.ORI: lambda a, imm: _s64(a | imm),
+    Op.XORI: lambda a, imm: _s64(a ^ imm),
+    Op.SLLI: lambda a, imm: _s64(a << (imm & 63)),
+    Op.SRLI: lambda a, imm: _s64(_u64(a) >> (imm & 63)),
+    Op.SRAI: lambda a, imm: _s64(a >> (imm & 63)),
+    Op.SLTI: lambda a, imm: int(a < imm),
+}
+
+#: FP-dest two-source ops (no r0 hardwiring in the FP file).
+_FP_RR = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FMIN: min,
+    Op.FMAX: max,
+}
+
+#: FP-dest single-source ops.
+_FP_R1 = {
+    Op.FNEG: lambda a: -a,
+    Op.FABS: abs,
+    Op.FMOV: lambda a: a,
+    Op.ITOF: float,
+}
+
+#: conditional branches as predicates over (regs[rs1], regs[rs2]).
+_BRANCHES = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+    Op.BEQZ: lambda a, b: a == 0,
+    Op.BNEZ: lambda a, b: a != 0,
+}
+
+_RA = NAME_TO_REG["ra"]
+
+
+def _missing_stream_step(pc: int):
+    """Step for an instruction with no stream annotation: always raises."""
+    def step():
+        raise SimulationError(
+            f"instruction {pc} has no stream annotation; "
+            f"run the slicer first"
+        )
+    return step
+
+
+def _compile_step(pc: int, instr: Instruction, state: ArchState,
+                  queues: QueueSet | None):
+    """Compile one static instruction into a zero-arg ``() -> (addr, next_pc)``."""
+    op = instr.op
+    ann = instr.ann
+    regs = state.regs
+    memory = state.memory
+    rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+    imm, target = instr.imm, instr.target
+    npc = pc + 1
+
+    def generic():
+        state.pc = pc
+        return _execute(instr, state, queues)
+
+    # Annotation-dependent execution: keep the generic interpreter (exact
+    # "$LDQ" operand shadowing and restore, SDQ routing).
+    if (ann.ldq_rs1 or ann.ldq_rs2 or ann.to_ldq or ann.to_sdq
+            or ann.sdq_data):
+        return generic
+
+    fn = _ALU_RR.get(op)
+    if fn is not None:
+        if rd == ZERO:
+            return generic
+        def step():
+            regs[rd] = fn(regs[rs1], regs[rs2])
+            return -1, npc
+        return step
+
+    fn = _ALU_RI.get(op)
+    if fn is not None:
+        if rd == ZERO:
+            return generic
+        def step():
+            regs[rd] = fn(regs[rs1], imm)
+            return -1, npc
+        return step
+
+    fn = _BRANCHES.get(op)
+    if fn is not None:
+        def step():
+            return -1, (target if fn(regs[rs1], regs[rs2]) else npc)
+        return step
+
+    if op is Op.LI:
+        if rd == ZERO:
+            return generic
+        value = _s64(imm)
+        def step():
+            regs[rd] = value
+            return -1, npc
+        return step
+
+    if op is Op.MOV:
+        if rd == ZERO:
+            return generic
+        def step():
+            regs[rd] = regs[rs1]
+            return -1, npc
+        return step
+
+    if op in (Op.LD, Op.LW, Op.LBU):
+        if rd == ZERO:
+            return generic
+        load = memory.load
+        if op is Op.LD:
+            def step():
+                a = _u64(regs[rs1] + imm)
+                regs[rd] = load(a, 8)
+                return a, npc
+        elif op is Op.LW:
+            def step():
+                a = _u64(regs[rs1] + imm)
+                regs[rd] = sign_extend(load(a, 4), 32)
+                return a, npc
+        else:
+            def step():
+                a = _u64(regs[rs1] + imm)
+                regs[rd] = load(a, 1)
+                return a, npc
+        return step
+
+    if op is Op.FLD:
+        load_f64 = memory.load_f64
+        def step():
+            a = _u64(regs[rs1] + imm)
+            regs[rd] = load_f64(a)
+            return a, npc
+        return step
+
+    if op in (Op.SD, Op.SW, Op.SB):
+        store = memory.store
+        nbytes = op.info.mem_bytes
+        def step():
+            a = _u64(regs[rs1] + imm)
+            store(a, _u64(int(regs[rs2])), nbytes)
+            return a, npc
+        return step
+
+    if op is Op.FSD:
+        store_f64 = memory.store_f64
+        def step():
+            a = _u64(regs[rs1] + imm)
+            store_f64(a, float(regs[rs2]))
+            return a, npc
+        return step
+
+    if op is Op.J:
+        def step():
+            return -1, target
+        return step
+
+    if op is Op.JAL:
+        link = npc
+        def step():
+            regs[_RA] = link
+            return -1, target
+        return step
+
+    if op is Op.JR:
+        def step():
+            return -1, regs[rs1]
+        return step
+
+    if op is Op.HALT:
+        def step():
+            raise _Halt()
+        return step
+
+    if op is Op.NOP:
+        def step():
+            return -1, npc
+        return step
+
+    fn = _FP_RR.get(op)
+    if fn is not None:
+        def step():
+            regs[rd] = fn(regs[rs1], regs[rs2])
+            return -1, npc
+        return step
+
+    fn = _FP_R1.get(op)
+    if fn is not None:
+        def step():
+            regs[rd] = fn(regs[rs1])
+            return -1, npc
+        return step
+
+    if op is Op.FTOI:
+        if rd == ZERO:
+            return generic
+        def step():
+            regs[rd] = _s64(int(regs[rs1]))
+            return -1, npc
+        return step
+
+    if op in (Op.DIV, Op.REM):
+        if rd == ZERO:
+            return generic
+        want_rem = op is Op.REM
+        def step():
+            a, b = regs[rs1], regs[rs2]
+            if b == 0:
+                raise SimulationError(f"division by zero at pc {pc}")
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            regs[rd] = _s64(a - q * b if want_rem else q)
+            return -1, npc
+        return step
+
+    if op is Op.FDIV:
+        def step():
+            b = regs[rs2]
+            if b == 0.0:
+                raise SimulationError(f"FP division by zero at pc {pc}")
+            regs[rd] = regs[rs1] / b
+            return -1, npc
+        return step
+
+    if op is Op.FSQRT:
+        def step():
+            v = regs[rs1]
+            if v < 0.0:
+                raise SimulationError(f"FSQRT of negative value at pc {pc}")
+            regs[rd] = v ** 0.5
+            return -1, npc
+        return step
+
+    if queues is not None:
+        if op in (Op.PUSH_LDQ, Op.PUSH_LDQF):
+            push = queues.ldq.push
+            def step():
+                push(regs[rs1])
+                return -1, npc
+            return step
+        if op is Op.POP_LDQ:
+            if rd == ZERO:
+                return generic
+            popq = queues.ldq.pop
+            def step():
+                regs[rd] = int(popq())
+                return -1, npc
+            return step
+        if op is Op.POP_LDQF:
+            popq = queues.ldq.pop
+            def step():
+                regs[rd] = float(popq())
+                return -1, npc
+            return step
+        if op in (Op.PUSH_SDQ, Op.PUSH_SDQF):
+            push = queues.sdq.push
+            def step():
+                push(regs[rs1])
+                return -1, npc
+            return step
+
+    # Queue ops without queues (illegal in a sequential run) and anything
+    # not specialised above fall back to the generic interpreter.
+    return generic

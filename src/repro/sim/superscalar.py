@@ -3,7 +3,11 @@
 This is a thin convenience wrapper: the baseline is the unified
 :class:`~repro.sim.decoupled.Machine` in ``superscalar`` mode — one
 8-issue, 64-entry-window out-of-order core fed directly from the trace,
-with the Table-1 memory hierarchy and bimodal predictor.
+with the Table-1 memory hierarchy and bimodal predictor.  Because the
+wrapper shares the unified machine, the baseline rides the same
+event-driven scheduler — wakeup lists, completion calendar, dead-time
+skipping to the next completion or fetch event (DESIGN.md §6) — so
+baseline and decoupled cells of the grid speed up together.
 """
 
 from __future__ import annotations

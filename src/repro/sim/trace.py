@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..asm.program import Program
 from ..errors import SimulationError
 from ..isa.instruction import Stream
+from .decode import decode_program
 from .functional import ArchState, DynInstr, FunctionalSimulator
 
 #: Routing codes used in :class:`QueuePlan.route`.
@@ -87,29 +88,32 @@ class QueuePlan:
 
 
 def build_queue_plan(program: Program, trace: list[DynInstr]) -> QueuePlan:
-    """Compute stream routing and FIFO matching for an annotated program."""
-    text = program.text
+    """Compute stream routing and FIFO matching for an annotated program.
+
+    Queue-protocol flags come from the static decode table
+    (:mod:`repro.sim.decode`) — one record per pc — instead of re-deriving
+    them through ``instr.op.info`` for every dynamic instance.
+    """
+    decoded = decode_program(program.text)
     route: list[int] = [0] * len(trace)
     plan = QueuePlan(route=route)
     for i, dyn in enumerate(trace):
-        instr = text[dyn.pc]
-        ann = instr.ann
-        if ann.stream is Stream.AS:
+        d = decoded[dyn.pc]
+        stream = d.stream
+        if stream is Stream.AS:
             route[i] = ROUTE_AP
-        elif ann.stream is Stream.CS:
+        elif stream is Stream.CS:
             route[i] = ROUTE_CP
         else:
             raise SimulationError(
                 f"trace position {i} (pc {dyn.pc}) lacks a stream annotation"
             )
-        info = instr.op.info
-        if info.writes_ldq or (instr.is_load and ann.to_ldq):
+        if d.ldq_push:
             plan.ldq_push_seq[i] = len(plan.ldq_push_pos)
             plan.ldq_push_pos.append(i)
-        elif info.reads_ldq or ann.ldq_rs1 or ann.ldq_rs2:
-            pops = 1 if info.reads_ldq else int(ann.ldq_rs1) + int(ann.ldq_rs2)
+        elif d.reads_ldq_any:
             matches = []
-            for _ in range(pops):
+            for _ in range(d.ldq_pops):
                 seq = len(plan.ldq_pop_pos)
                 plan.ldq_pop_pos.append(i)
                 if seq >= len(plan.ldq_push_pos):
@@ -118,10 +122,10 @@ def build_queue_plan(program: Program, trace: list[DynInstr]) -> QueuePlan:
                     )
                 matches.append(plan.ldq_push_pos[seq])
             plan.ldq_match[i] = matches
-        if info.writes_sdq or ann.to_sdq:
+        if d.sdq_push:
             plan.sdq_push_seq[i] = len(plan.sdq_push_pos)
             plan.sdq_push_pos.append(i)
-        elif instr.is_store and ann.sdq_data:
+        elif d.sdq_pop:
             seq = len(plan.sdq_pop_pos)
             plan.sdq_pop_pos.append(i)
             if seq >= len(plan.sdq_push_pos):

@@ -1,0 +1,61 @@
+"""Record the scheduler-parity fixtures for tests/test_sched_parity.py.
+
+Runs the quick-scale suite (7 benchmarks x 4 machine models) with CPI
+telemetry on and writes every cycle count, per-core CoreStats and CPI
+stack to ``tests/fixtures/sched_parity.json``.  The fixtures pin the
+*cycle-exact* behaviour of the timing model: any scheduler rewrite (such
+as the event-driven wakeup core) must reproduce them bit-for-bit.
+
+Regenerate (only when an intentional timing-model change lands)::
+
+    PYTHONPATH=src python -m tests.record_sched_fixtures
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import MachineConfig
+from repro.experiments.runner import prepare, run_model
+from repro.telemetry import Telemetry
+from repro.workloads import quick_workloads
+
+MODES = ("superscalar", "cp_ap", "cp_cmp", "hidisc")
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "sched_parity.json"
+SEED = 2003
+
+
+def record() -> dict:
+    """Simulate the full quick grid; returns the fixture payload."""
+    config = MachineConfig()
+    grid: dict[str, dict] = {}
+    for workload in quick_workloads(SEED):
+        compiled = prepare(workload, config)
+        cells: dict[str, dict] = {}
+        for mode in MODES:
+            result = run_model(compiled, config, mode,
+                               telemetry=Telemetry(cpi=True))
+            cells[mode] = {
+                "cycles": result.cycles,
+                "total_cycles": result.total_cycles,
+                "committed": dict(result.committed),
+                "core_stats": result.core_stats,
+                "cpi_stacks": result.cpi_stacks,
+                "cmas_threads_forked": result.cmas_threads_forked,
+                "cmas_threads_dropped": result.cmas_threads_dropped,
+            }
+        grid[workload.name] = cells
+    return {"seed": SEED, "modes": list(MODES), "grid": grid}
+
+
+def main() -> None:
+    payload = record()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    cells = sum(len(cells) for cells in payload["grid"].values())
+    print(f"recorded {cells} grid cells to {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Golden-model equivalence of the dispatch-table interpreter fast path.
+
+``FunctionalSimulator.run(fast=True)`` (the default) executes through
+per-instruction pre-bound step closures; ``fast=False`` is the legacy
+if/elif interpreter.  The two must be *architecturally identical*: same
+final registers, same memory image (checked page by page), same dynamic
+trace (which pins load/store order and effective addresses), same step
+count, and the same exceptions on the error paths.  Ditto for the
+decoupled executor, whose closures are pre-bound per stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.sim.functional import (
+    DecoupledFunctionalSimulator,
+    FunctionalSimulator,
+)
+from repro.slicer import compile_hidisc
+from repro.workloads import quick_workloads
+
+SEED = 2003
+
+
+def _quick_programs():
+    return [(w.name, w.program) for w in quick_workloads(SEED)]
+
+
+def _run_both(program, decoupled: bool):
+    """Run fast and slow variants; returns both (sim, state, trace)."""
+    results = []
+    for fast in (True, False):
+        if decoupled:
+            sim = DecoupledFunctionalSimulator(program)
+        else:
+            sim = FunctionalSimulator(program)
+        trace = []
+        state = sim.run(trace=trace, fast=fast)
+        results.append((sim, state, trace))
+    return results
+
+
+@pytest.mark.parametrize("name,program", _quick_programs())
+def test_sequential_equivalence(name, program):
+    (fsim, fstate, ftrace), (ssim, sstate, strace) = _run_both(
+        program, decoupled=False)
+    assert fstate.regs == sstate.regs, name
+    assert fstate.pc == sstate.pc and fstate.halted == sstate.halted, name
+    assert fsim.instructions_executed == ssim.instructions_executed, name
+    assert ftrace == strace, name  # pins store order + effective addresses
+    assert fstate.memory.equal_contents(sstate.memory), name
+
+
+@pytest.mark.parametrize("name,program", _quick_programs())
+def test_decoupled_equivalence(name, program):
+    config = MachineConfig()
+    annotated = compile_hidisc(program, config).decoupled
+    (fsim, fap, ftrace), (ssim, sap, strace) = _run_both(
+        annotated, decoupled=True)
+    assert fap.regs == sap.regs, name
+    assert fsim.cp_state.regs == ssim.cp_state.regs, name
+    assert fap.pc == sap.pc and fap.halted == sap.halted, name
+    assert fsim.cp_state.pc == ssim.cp_state.pc, name
+    assert fsim.instructions_executed == ssim.instructions_executed, name
+    assert ftrace == strace, name
+    assert fap.memory.equal_contents(sap.memory), name
+
+
+@pytest.mark.parametrize("name,program", _quick_programs())
+def test_fast_path_matches_decoupled_golden_memory(name, program):
+    """Fast sequential and fast decoupled runs still agree on memory —
+    the separation-soundness check, now through the dispatch table."""
+    config = MachineConfig()
+    annotated = compile_hidisc(program, config).decoupled
+    seq = FunctionalSimulator(program)
+    seq_state = seq.run()
+    dec = DecoupledFunctionalSimulator(annotated)
+    dec_state = dec.run()
+    assert seq_state.memory.equal_contents(dec_state.memory), name
+
+
+def test_max_steps_error_identical(counting_loop):
+    messages = []
+    for fast in (True, False):
+        with pytest.raises(SimulationError) as err:
+            FunctionalSimulator(counting_loop).run(max_steps=5, fast=fast)
+        messages.append(str(err.value))
+    assert messages[0] == messages[1]
+
+
+def test_div_by_zero_error_identical():
+    from repro.asm.builder import ProgramBuilder
+
+    b = ProgramBuilder("divzero")
+    b.li("r1", 1)
+    b.li("r2", 0)
+    b.div("r3", "r1", "r2")
+    b.halt()
+    program = b.build()
+    messages = []
+    for fast in (True, False):
+        with pytest.raises(SimulationError) as err:
+            FunctionalSimulator(program).run(fast=fast)
+        messages.append(str(err.value))
+    assert messages[0] == messages[1]
+    assert "division by zero" in messages[0]
+
+
+def test_missing_stream_annotation_raises_at_call_time(counting_loop):
+    """An unannotated program builds a decoupled table fine; execution of
+    the first unannotated instruction raises exactly like the slow path."""
+    messages = []
+    for fast in (True, False):
+        sim = DecoupledFunctionalSimulator(counting_loop)
+        with pytest.raises(SimulationError) as err:
+            sim.run(fast=fast)
+        messages.append(str(err.value))
+    assert messages[0] == messages[1]
+    assert "no stream annotation" in messages[0]

@@ -1,0 +1,77 @@
+"""Cycle-exact parity of the event-driven scheduler.
+
+The wakeup/select rewrite (PR 4) must be *cycle-for-cycle identical* to
+the polling scheduler it replaced.  These tests sweep the full quick-scale
+grid — 7 benchmarks x 4 machine models — and assert that cycle counts,
+per-core CoreStats and CPI stacks all match the fixtures recorded from the
+pre-rewrite scheduler (``tests/fixtures/sched_parity.json``, regenerated
+only when a timing-model change is intentional — see
+``tests/record_sched_fixtures.py``), and that the co-simulation oracle
+(``--verify``) still passes under the new scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.runner import prepare, run_model
+from repro.telemetry import Telemetry, check_stack
+from repro.workloads import quick_workloads
+
+from tests.record_sched_fixtures import FIXTURE_PATH, MODES, SEED
+
+
+@pytest.fixture(scope="module")
+def fixture_grid() -> dict:
+    payload = json.loads(FIXTURE_PATH.read_text())
+    assert payload["seed"] == SEED
+    assert tuple(payload["modes"]) == MODES
+    return payload["grid"]
+
+
+@pytest.fixture(scope="module")
+def compiled(config):
+    return {w.name: prepare(w, config) for w in quick_workloads(SEED)}
+
+
+@pytest.fixture(scope="module")
+def config() -> MachineConfig:
+    return MachineConfig()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_grid_parity(mode, fixture_grid, compiled, config):
+    """Every quick benchmark reproduces the recorded cell bit-for-bit."""
+    for name, cells in sorted(fixture_grid.items()):
+        expected = cells[mode]
+        result = run_model(compiled[name], config, mode,
+                           telemetry=Telemetry(cpi=True))
+        label = f"{name}/{mode}"
+        assert result.cycles == expected["cycles"], label
+        assert result.total_cycles == expected["total_cycles"], label
+        assert dict(result.committed) == expected["committed"], label
+        assert result.core_stats == expected["core_stats"], label
+        assert result.cpi_stacks == expected["cpi_stacks"], label
+        assert result.cmas_threads_forked == expected["cmas_threads_forked"], label
+        assert result.cmas_threads_dropped == expected["cmas_threads_dropped"], label
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_cpi_stacks_sum_to_cycles(mode, fixture_grid):
+    """The recorded stacks themselves satisfy the exact-sum invariant."""
+    for name, cells in sorted(fixture_grid.items()):
+        expected = cells[mode]
+        for core, stack in expected["cpi_stacks"].items():
+            check_stack(stack, expected["cycles"],
+                        core=f"{name}/{mode}/{core}")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_oracle_verifies_new_scheduler(mode, compiled, config):
+    """The co-simulation oracle passes under the event-driven scheduler."""
+    cw = compiled["field"]
+    result = run_model(cw, config, mode, verify=True)
+    assert result.verified

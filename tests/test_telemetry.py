@@ -142,10 +142,17 @@ def _core(machine, name="CP"):
     return TimingCore(name, CoreConfig(name=name), machine)
 
 
-def _entry(instr, deps=(0,), issued=False):
+def _entry(instr, deps=(0,), issued=False, pending=None):
+    """A hand-built window entry.
+
+    ``pending`` mirrors what dispatch-time wakeup registration would have
+    computed: by default every dep is an outstanding producer (the blocked
+    case); pass ``pending=0`` to model all producers having completed.
+    """
     entry = WindowEntry(gid=1, pos=1, instr=instr, addr=0,
                         deps=list(deps), min_ready=0, is_prefetch=False)
     entry.issued = issued
+    entry.pending = len(deps) if pending is None else pending
     return entry
 
 
@@ -186,7 +193,8 @@ class TestAttributeStall:
 
     def test_no_attribution_when_deps_ready(self):
         core = _core(_StubMachine(complete_at=[3]))
-        core._attribute_stall(_entry(Instruction(op=Op.POP_LDQ, rd=5)), now=9)
+        core._attribute_stall(
+            _entry(Instruction(op=Op.POP_LDQ, rd=5), pending=0), now=9)
         assert core.stats.ldq_empty_stalls == 0
 
     def test_no_attribution_after_issue(self):
@@ -260,7 +268,7 @@ class TestClassifyCycle:
     def test_fu_contention_when_ready_but_unissued(self):
         core = _core(_StubMachine(complete_at=[3]))
         core.window.append(_entry(Instruction(op=Op.ADD, rd=3, rs1=4,
-                                              rs2=5)))
+                                              rs2=5), pending=0))
         assert self._classified(core) == "fu_contention"
 
 
