@@ -7,12 +7,27 @@ performance regressions in the simulator itself are visible.
 
 from __future__ import annotations
 
+import resource
+import sys
+
 from repro.config import MachineConfig
 from repro.sim import Machine, generate_trace
 from repro.sim.functional import FunctionalSimulator
 from repro.slicer import compile_hidisc
-from repro.telemetry import MemorySink, Telemetry
+from repro.telemetry import LifecycleCollector, MemorySink, Telemetry
 from repro.workloads import FieldWorkload
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.  It is a
+    high-water mark, so per-scenario values are monotone across the run;
+    a scenario's own footprint is visible as the step over its
+    predecessor in the snapshot.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
 
 
 def test_functional_interpreter_rate(benchmark):
@@ -25,6 +40,7 @@ def test_functional_interpreter_rate(benchmark):
 
     executed = benchmark(run)
     benchmark.extra_info["instructions"] = executed
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
     assert executed > 10_000
 
 
@@ -40,6 +56,7 @@ def test_timing_core_rate(benchmark):
     cycles = benchmark(run)
     benchmark.extra_info["cycles"] = cycles
     benchmark.extra_info["trace_length"] = len(trace)
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
 
 
 def test_timing_core_rate_telemetry_cpi(benchmark):
@@ -56,6 +73,7 @@ def test_timing_core_rate_telemetry_cpi(benchmark):
 
     cycles = benchmark(run)
     benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
 
 
 def test_timing_core_rate_telemetry_full(benchmark):
@@ -74,7 +92,29 @@ def test_timing_core_rate_telemetry_full(benchmark):
     cycles, events = benchmark(run)
     benchmark.extra_info["cycles"] = cycles
     benchmark.extra_info["events"] = events
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
     assert events > 0
+
+
+def test_timing_core_rate_lifecycle(benchmark):
+    """Per-dynamic-instruction lifecycle capture on (CPI stacks too) —
+    the cost of stage-record tracing relative to the plain and
+    CPI-only variants above, and the memory side via peak_rss_bytes."""
+    config = MachineConfig()
+    program = FieldWorkload(n=1200).program
+    trace, _ = generate_trace(program)
+
+    def run():
+        tel = Telemetry(cpi=True, lifecycle=LifecycleCollector())
+        result = Machine(config, program.copy(), trace, mode="superscalar",
+                         telemetry=tel).run()
+        return result.cycles, tel.lifecycle.committed
+
+    cycles, captured = benchmark(run)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["captured"] = captured
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
+    assert captured == len(trace)
 
 
 def test_compiler_cost(benchmark):

@@ -2,7 +2,9 @@
 
 Runs the pytest-benchmark suite (``benchmarks/bench_simulator.py``) and
 appends one snapshot — commit, date, and per-scenario mean time plus the
-derived simulation rates (cycles/sec, instr/sec) — to ``BENCH_<date>.json``
+derived simulation rates (cycles/sec, instr/sec) and peak resident set
+size (``peak_rss_bytes``, a process high-water mark, so the lifecycle
+layer's memory cost is tracked next to its speed) — to ``BENCH_<date>.json``
 at the repository root.  The accumulated files track the perf trajectory
 across PRs; ``benchmarks/check_regression.py`` gates CI on the same
 numbers.
@@ -93,6 +95,9 @@ def snapshot_from(raw: dict, commit: str | None = None,
         if instructions:
             entry["instructions"] = instructions
             entry["instr_per_second"] = instructions / mean
+        peak_rss = extra.get("peak_rss_bytes")
+        if peak_rss:
+            entry["peak_rss_bytes"] = peak_rss
         scenarios[bench["name"]] = entry
     return {
         "date": date or datetime.date.today().isoformat(),

@@ -154,6 +154,14 @@ class TelemetryConfig:
     sample_interval: int = 0
     #: event-trace file format: Chrome ``trace_event`` JSON or JSONL.
     trace_format: str = "chrome"
+    #: capture per-dynamic-instruction lifecycle records
+    #: (:mod:`repro.telemetry.lifecycle`).
+    lifecycle: bool = False
+    #: lifecycle ring-buffer capacity; 0 keeps every committed record.
+    lifecycle_max_records: int = 0
+    #: heartbeat period in cycles (one live status line per period on
+    #: stderr); 0 disables the heartbeat.
+    heartbeat_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.sample_interval < 0:
@@ -163,6 +171,10 @@ class TelemetryConfig:
                 f"unknown trace format {self.trace_format!r} "
                 "(expected 'chrome' or 'jsonl')"
             )
+        if self.lifecycle_max_records < 0:
+            raise ConfigError("lifecycle_max_records must be >= 0")
+        if self.heartbeat_interval < 0:
+            raise ConfigError("heartbeat_interval must be >= 0")
 
 
 # Table 1 cache defaults.

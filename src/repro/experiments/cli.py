@@ -12,6 +12,8 @@ Installed as the ``hidisc`` console script::
     hidisc faults --quick --fault-seed 7   # seeded fault campaign
     hidisc stats --quick --bench pointer --model hidisc
     hidisc trace --quick --bench pointer --out trace.json
+    hidisc lifecycle --quick --bench pointer --out run.kanata
+    hidisc diff run_a.json run_b.json      # first divergent commit + values
     hidisc cache stats
     hidisc cache clear
     hidisc bench                           # perf snapshot -> BENCH_<date>.json
@@ -31,7 +33,19 @@ import sys
 from dataclasses import replace
 
 from ..config import MachineConfig, TelemetryConfig
-from ..telemetry import Telemetry
+from ..telemetry import (
+    ChromeTraceSink,
+    Heartbeat,
+    LifecycleCollector,
+    Telemetry,
+    critical_path_by_pc,
+    diff_payloads,
+    lifecycle_to_chrome,
+    load_payload,
+    render_critical_path,
+    render_diff,
+    write_konata,
+)
 from ..workloads import WORKLOADS_BY_NAME, get_workload
 from .cache import RunCache, prepare_cached
 from .figure8 import figure8
@@ -45,9 +59,15 @@ from .table1 import table1
 from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
-             "suite", "stats", "trace", "cache", "faults", "bench")
+             "suite", "stats", "trace", "lifecycle", "diff", "cache",
+             "faults", "bench")
 
 _CACHE_ACTIONS = ("stats", "clear")
+
+#: lifecycle output defaults per format (when --out is not given).
+_LIFECYCLE_OUT = {"kanata": "hidisc.kanata",
+                  "jsonl": "hidisc_lifecycle.jsonl",
+                  "chrome": "hidisc_lifecycle.json"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,13 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command", choices=_COMMANDS,
                         help="which table/figure to regenerate, 'suite' for "
-                             "the raw benchmark grid, 'stats'/'trace' to "
-                             "profile one run, 'cache' to manage the "
-                             "run cache, or 'faults' to run a seeded "
-                             "fault-injection campaign")
-    parser.add_argument("cache_action", nargs="?", choices=_CACHE_ACTIONS,
+                             "the raw benchmark grid, 'stats'/'trace'/"
+                             "'lifecycle' to profile one run, 'diff' to "
+                             "compare two result payloads, 'cache' to "
+                             "manage the run cache, or 'faults' to run a "
+                             "seeded fault-injection campaign")
+    parser.add_argument("cache_action", nargs="?",
                         help="for 'hidisc cache': 'stats' (default) or "
-                             "'clear'")
+                             "'clear'; for 'hidisc diff': the first "
+                             "payload path")
+    parser.add_argument("diff_b", nargs="?", metavar="payload_b",
+                        help="for 'hidisc diff': the second payload path")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down inputs (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=2003,
@@ -112,22 +136,41 @@ def build_parser() -> argparse.ArgumentParser:
                                 "campaign over (default: every suite "
                                 "benchmark)")
     profiling = parser.add_argument_group(
-        "stats/trace options", "single-run telemetry (repro.telemetry)")
+        "stats/trace/lifecycle options",
+        "single-run telemetry (repro.telemetry)")
     profiling.add_argument("--bench", default="pointer",
                            choices=sorted(WORKLOADS_BY_NAME),
                            help="benchmark to profile (default pointer)")
     profiling.add_argument("--model", default="hidisc", choices=MODEL_ORDER,
                            help="machine model to profile (default hidisc)")
-    profiling.add_argument("--out", metavar="PATH", default="hidisc_trace.json",
-                           help="trace output file (default hidisc_trace.json)")
-    profiling.add_argument("--format", dest="trace_format", default="chrome",
-                           choices=("chrome", "jsonl"),
-                           help="trace file format: Chrome/Perfetto "
-                                "trace_event JSON or JSONL (default chrome)")
+    profiling.add_argument("--out", metavar="PATH", default=None,
+                           help="output file (default hidisc_trace.json for "
+                                "'trace'; for 'lifecycle' it follows the "
+                                "format: hidisc.kanata / "
+                                "hidisc_lifecycle.jsonl / "
+                                "hidisc_lifecycle.json)")
+    profiling.add_argument("--format", dest="trace_format", default=None,
+                           choices=("chrome", "jsonl", "kanata"),
+                           help="output format: Chrome/Perfetto trace_event "
+                                "JSON, JSONL, or (lifecycle only) a Konata "
+                                "pipeline-viewer log (default: chrome for "
+                                "'trace', kanata for 'lifecycle')")
     profiling.add_argument("--sample-interval", type=_non_negative,
                            default=128, metavar="CYCLES",
                            help="occupancy sampling period in cycles, "
                                 "0 disables (default 128)")
+    profiling.add_argument("--heartbeat", type=_non_negative, default=0,
+                           metavar="CYCLES",
+                           help="emit a live status line (cycle, IPC, queue "
+                                "depths, host cycles/s) on stderr every N "
+                                "simulated cycles; 0 disables (default)")
+    profiling.add_argument("--lifecycle-limit", type=_non_negative,
+                           default=0, metavar="N",
+                           help="keep only the newest N lifecycle records "
+                                "(ring buffer); 0 keeps all (default)")
+    profiling.add_argument("--top", type=_positive, default=12, metavar="N",
+                           help="rows in the critical-path table "
+                                "(default 12)")
     bench = parser.add_argument_group(
         "bench options", "simulator performance snapshots "
                          "(benchmarks/record.py)")
@@ -253,6 +296,78 @@ def _run_faults(args, config: MachineConfig, progress,
     return 0 if graceful else 1
 
 
+def _run_lifecycle(args, config: MachineConfig, progress,
+                   cache: RunCache | None, payload: dict) -> int:
+    """The 'lifecycle' command: per-instruction stage tracing + export.
+
+    Runs one benchmark/model with a :class:`LifecycleCollector`, writes
+    the records in the requested format (Konata pipeline log, Chrome
+    per-instruction spans, or raw JSONL) and prints the critical-path
+    attribution table.
+    """
+    fmt = args.trace_format or "kanata"
+    out = args.out or _LIFECYCLE_OUT[fmt]
+    lifecycle = LifecycleCollector(
+        max_records=args.lifecycle_limit or None,
+        jsonl_path=out if fmt == "jsonl" else None,
+    )
+    heartbeat = Heartbeat(args.heartbeat) if args.heartbeat else None
+    telemetry = Telemetry(cpi=True, sample_interval=args.sample_interval,
+                          lifecycle=lifecycle, heartbeat=heartbeat)
+    result = _profile_single(args, config, progress, telemetry, cache)
+    telemetry.close()
+
+    rows = lifecycle.rows()
+    if fmt == "kanata":
+        write_konata(rows, out)
+        hint = " — open in Konata (https://github.com/shioyadan/Konata)"
+    elif fmt == "chrome":
+        sink = ChromeTraceSink(out)
+        lifecycle_to_chrome(rows, sink)
+        sink.close()
+        hint = " — open in https://ui.perfetto.dev or chrome://tracing"
+    else:  # jsonl — already streamed by the collector at commit time
+        hint = ""
+
+    summary = critical_path_by_pc(rows)
+    print(render_run_stats(result))
+    print(f"\nCritical-path attribution (top {args.top} static "
+          f"instructions by total commit latency):")
+    print(render_critical_path(summary, limit=args.top))
+    dropped = (f", {lifecycle.dropped} dropped by --lifecycle-limit"
+               if lifecycle.dropped else "")
+    print(f"\n{lifecycle.committed} instructions captured{dropped}; "
+          f"{len(rows)} written to {out} ({fmt}){hint}")
+    payload["lifecycle"] = {
+        "benchmark": result.benchmark,
+        "model": result.machine,
+        "cycles": result.cycles,
+        "captured": lifecycle.committed,
+        "dropped": lifecycle.dropped,
+        "format": fmt,
+        "records": rows,
+        "critical_path": summary[:args.top],
+    }
+    payload["stats"] = _stats_payload(result, telemetry)
+    return 0
+
+
+def _run_diff(args, payload: dict) -> int:
+    """The 'diff' command: compare two run/suite JSON payloads.
+
+    Returns 0 when the payloads are identical (modulo wall-clock keys),
+    1 when they diverge — so CI can gate on it directly.
+    """
+    path_a, path_b = args.cache_action, args.diff_b
+    a = load_payload(path_a)
+    b = load_payload(path_b)
+    report = diff_payloads(a, b)
+    print(f"diff {path_a} vs {path_b}:")
+    print(render_diff(report, name_a=path_a, name_b=path_b))
+    payload["diff"] = report
+    return 0 if report["identical"] else 1
+
+
 def _stats_payload(result, telemetry: Telemetry) -> dict:
     return {
         "machine": result.machine,
@@ -275,8 +390,22 @@ def _stats_payload(result, telemetry: Telemetry) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.cache_action is not None and args.command != "cache":
+    if args.command == "cache":
+        if (args.cache_action is not None
+                and args.cache_action not in _CACHE_ACTIONS):
+            parser.error(f"unknown cache action {args.cache_action!r} "
+                         f"(expected {' or '.join(_CACHE_ACTIONS)})")
+        if args.diff_b is not None:
+            parser.error(f"unexpected argument {args.diff_b!r} after "
+                         f"'cache {args.cache_action}'")
+    elif args.command == "diff":
+        if args.cache_action is None or args.diff_b is None:
+            parser.error("diff needs two payload paths: "
+                         "hidisc diff <payload_a> <payload_b>")
+    elif args.cache_action is not None:
         parser.error(f"'{args.cache_action}' is only valid after 'cache'")
+    if args.trace_format == "kanata" and args.command != "lifecycle":
+        parser.error("--format kanata is only valid for 'hidisc lifecycle'")
     config = MachineConfig()
     if args.max_cycles is not None:
         config = replace(config, max_cycles=args.max_cycles)
@@ -306,17 +435,21 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stats":
         telemetry = Telemetry.from_config(
-            TelemetryConfig(cpi=True, sample_interval=args.sample_interval)
+            TelemetryConfig(cpi=True, sample_interval=args.sample_interval,
+                            heartbeat_interval=args.heartbeat)
         )
         result = _profile_single(args, config, progress, telemetry, cache)
         print(render_run_stats(result))
         payload["stats"] = _stats_payload(result, telemetry)
 
     if args.command == "trace":
+        fmt = args.trace_format or "chrome"
+        out = args.out or "hidisc_trace.json"
         telemetry = Telemetry.from_config(
             TelemetryConfig(cpi=True, sample_interval=args.sample_interval,
-                            trace_format=args.trace_format),
-            trace_path=args.out,
+                            trace_format=fmt,
+                            heartbeat_interval=args.heartbeat),
+            trace_path=out,
         )
         result = _profile_single(args, config, progress, telemetry, cache)
         telemetry.close()
@@ -324,12 +457,26 @@ def main(argv: list[str] | None = None) -> int:
         count = getattr(telemetry.sink, "event_count", None)
         suffix = f" ({count} events)" if count is not None else ""
         hint = (" — open in https://ui.perfetto.dev or chrome://tracing"
-                if args.trace_format == "chrome" else "")
-        print(f"\ntrace written to {args.out}{suffix}{hint}")
-        payload["trace"] = {"path": str(args.out),
-                            "format": args.trace_format,
+                if fmt == "chrome" else "")
+        print(f"\ntrace written to {out}{suffix}{hint}")
+        payload["trace"] = {"path": str(out),
+                            "format": fmt,
                             "events": count}
         payload["stats"] = _stats_payload(result, telemetry)
+
+    if args.command == "lifecycle":
+        code = _run_lifecycle(args, config, progress, cache, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command == "diff":
+        code = _run_diff(args, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
 
     if args.command == "faults":
         code = _run_faults(args, config, progress, cache, payload)

@@ -142,7 +142,11 @@ class TimingCore:
         # CMP never moves queue occupancy.
         self._q_track: bool = (getattr(machine, "_tel_queues", False)
                                and not self.is_prefetch_core)
-        self._tel_issue: bool = self._events_on or self._q_track
+        #: per-dynamic-instruction lifecycle collector (None in normal
+        #: runs; a pure observer — it never feeds back into scheduling).
+        self._life = getattr(machine, "_life", None)
+        self._tel_issue: bool = (self._events_on or self._q_track
+                                 or self._life is not None)
         # Resilience hooks, latched like the telemetry switches (both are
         # None in normal runs, so the hot paths pay one local test).
         self._faults = getattr(machine, "faults", None)
@@ -192,6 +196,7 @@ class TimingCore:
         use_plan = plan is not None and not is_prefetch
         track_mem = not is_prefetch
         q_track = self._q_track
+        life = self._life
         ldq_cap = machine.ldq_capacity
         sdq_cap = machine.sdq_capacity
         pop = instr_queue.popleft
@@ -260,6 +265,8 @@ class TimingCore:
             if not pending:
                 heappush(ready, (entry.seq, entry))
             window.append(entry)
+            if life is not None:
+                life.on_dispatch(gid, now, not pending)
             dispatched += 1
         self._seq = seq
         if len(window) > self.stats.max_window:
@@ -366,6 +373,8 @@ class TimingCore:
                   latency: int) -> None:
         """Telemetry tap at issue: event emission + queue-flow counters."""
         machine = self.machine
+        if self._life is not None:
+            self._life.on_issue(entry.gid, now, latency, d.is_mem)
         if self._events_on:
             args = {"gid": entry.gid, "pos": entry.pos}
             if d.is_mem:
@@ -387,6 +396,7 @@ class TimingCore:
         """In-order retirement from the window head; returns count."""
         complete_at = self.machine.complete_at
         commit_log = self._commit_log
+        life = self._life
         committed = 0
         window = self.window
         pop = window.popleft
@@ -399,6 +409,8 @@ class TimingCore:
             committed += 1
             if commit_log is not None:
                 commit_log.append((self.name, head.gid, head.pos))
+            if life is not None:
+                life.on_commit(head.gid, now)
         self.stats.committed += committed
         self._committed_now = committed
         if committed == 0 and window:

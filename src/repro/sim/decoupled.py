@@ -115,7 +115,12 @@ class Machine:
         self._tel_events = telemetry is not None and telemetry.events_on
         self.sink = telemetry.sink if self._tel_events else None
         self._sampler = telemetry.new_sampler() if telemetry is not None else None
-        self._tel_queues = self._tel_events or self._sampler is not None
+        #: lifecycle collector and heartbeat (None unless requested); the
+        #: heartbeat reads queue occupancy, so it keeps _tel_queues on.
+        self._life = telemetry.lifecycle if telemetry is not None else None
+        self._heartbeat = telemetry.heartbeat if telemetry is not None else None
+        self._tel_queues = (self._tel_events or self._sampler is not None
+                            or self._heartbeat is not None)
         #: issue-time occupancy of the architectural queues (telemetry only;
         #: the timing model itself carries queue state as dependence edges).
         self.queue_occupancy: dict[str, int] = {"LDQ": 0, "SDQ": 0, "SAQ": 0}
@@ -129,6 +134,8 @@ class Machine:
         #: static decode table indexed by PC (see repro.sim.decode) — every
         #: per-instruction property the scheduler needs, resolved once.
         self.decoded = decode_program(program.text)
+        if self._life is not None:
+            self._life.bind(self)
 
         # Event-driven scheduling state (see repro.sim.core): per-gid wakeup
         # lists of window entries awaiting that producer's completion, and
@@ -217,6 +224,7 @@ class Machine:
         by_trigger = self.cmas_plan.by_trigger if self.cmp_enabled else None
         resolve = self.predictor.resolve
         in_warmup = self._in_warmup
+        life = self._life
         min_ready = now + 1
         while fetched < fetch_width and pos < n:
             dyn = trace[pos]
@@ -227,6 +235,8 @@ class Machine:
             if by_trigger is not None and pos in by_trigger:
                 self._fork_threads(by_trigger[pos], now)
             iq.append((pos, pos, min_ready, ()))
+            if life is not None:
+                life.on_fetch(pos, pos, core.name, now)
             pos += 1
             self._fetch_pos = pos
             fetched += 1
@@ -308,9 +318,12 @@ class Machine:
             if len(self._thread_last_gids) >= max_contexts:
                 extra = (self._thread_last_gids[-max_contexts],)
             first = True
+            life = self._life
             for p in thread.positions:
                 self.cmp.enqueue(self._next_cmas_gid, p, now + 1,
                                  extra if first else ())
+                if life is not None:
+                    life.on_fetch(self._next_cmas_gid, p, "CMP", now)
                 first = False
                 self._next_cmas_gid += 1
             self._thread_last_gids.append(self._next_cmas_gid - 1)
@@ -326,6 +339,7 @@ class Machine:
         cores = self.cores
         cpi_on = self._tel_cpi
         sampler = self._sampler
+        heartbeat = self._heartbeat
         watchdog = self.watchdog
         cal_heap = self.cal_heap
         while True:
@@ -355,6 +369,8 @@ class Machine:
                     core.classify_cycle(now)
             if sampler is not None and now >= sampler.next_at:
                 sampler.record(self, now)
+            if heartbeat is not None and now >= heartbeat.next_at:
+                heartbeat.emit(self, now)
             if progress == 0:
                 next_now = self._skip_to_next_event(now)
                 # Raises DeadlockError: immediately when no wake-up event
@@ -390,6 +406,7 @@ class Machine:
         cal_heap = self.cal_heap
         calendar = self.calendar
         wakeup = self.wakeup
+        life = self._life
         while cal_heap and cal_heap[0] <= now:
             t = heappop(cal_heap)
             for gid in calendar.pop(t):
@@ -401,6 +418,8 @@ class Machine:
                     entry.pending = pending
                     if not pending:
                         heappush(entry.owner.ready, (entry.seq, entry))
+                        if life is not None:
+                            life.on_ready(entry.gid, now)
 
     def _skip_to_next_event(self, now: int) -> int | None:
         """Next cycle at which anything can happen; None = nothing ever can.

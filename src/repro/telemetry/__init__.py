@@ -12,8 +12,11 @@ Typical use::
     tel.close()                      # writes run.json (open in Perfetto)
     print(result.cpi_stacks)         # components sum to result.cycles
 
-See :mod:`repro.telemetry.cpi` for the cycle taxonomy and
-:mod:`repro.telemetry.sinks` for the available sinks.
+Per-dynamic-instruction lifecycle tracing (Konata export, critical-path
+attribution) lives in :mod:`repro.telemetry.lifecycle` /
+:mod:`repro.telemetry.konata`, differential run analysis in
+:mod:`repro.telemetry.diff`.  See :mod:`repro.telemetry.cpi` for the cycle
+taxonomy and :mod:`repro.telemetry.sinks` for the available sinks.
 """
 
 from .cpi import (
@@ -25,7 +28,19 @@ from .cpi import (
     render_cpi_stacks,
     stack_total,
 )
+from .diff import diff_payloads, first_divergent_commit, load_payload, render_diff
 from .events import Telemetry
+from .heartbeat import Heartbeat
+from .konata import konata_lines, write_konata
+from .lifecycle import (
+    LIFECYCLE_COMPONENTS,
+    LifecycleCollector,
+    LifecycleRecord,
+    breakdown_row,
+    critical_path_by_pc,
+    lifecycle_to_chrome,
+    render_critical_path,
+)
 from .sampler import Sample, Sampler, take_sample
 from .sinks import (
     NULL_SINK,
@@ -40,8 +55,12 @@ from .sinks import (
 __all__ = [
     "CPI_COMPONENTS",
     "ChromeTraceSink",
+    "Heartbeat",
     "JsonlSink",
+    "LIFECYCLE_COMPONENTS",
     "LOD_COMPONENTS",
+    "LifecycleCollector",
+    "LifecycleRecord",
     "MEMORY_COMPONENTS",
     "MemorySink",
     "NULL_SINK",
@@ -51,9 +70,19 @@ __all__ = [
     "Sink",
     "TeeSink",
     "Telemetry",
+    "breakdown_row",
     "check_stack",
+    "critical_path_by_pc",
+    "diff_payloads",
+    "first_divergent_commit",
+    "konata_lines",
+    "lifecycle_to_chrome",
+    "load_payload",
     "new_stack",
     "render_cpi_stacks",
+    "render_critical_path",
+    "render_diff",
     "stack_total",
     "take_sample",
+    "write_konata",
 ]

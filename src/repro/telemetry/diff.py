@@ -1,0 +1,168 @@
+"""Differential analysis of run/suite JSON payloads.
+
+``hidisc diff A B`` turns "the numbers moved, now what?" into one command:
+it walks two payloads produced by any of the JSON-emitting subcommands
+(``stats``, ``suite``, ``table1 --json``, ``lifecycle``) and reports every
+leaf whose value differs — CPI-stack components, per-benchmark cycles,
+queue stats — plus, when both payloads carry lifecycle records, the
+**first divergent committed instruction** (gid and commit cycle), which is
+the bisection-ready answer for scheduler-parity failures.
+
+Wall-clock noise keys (:data:`IGNORED_KEYS`) are excluded so two runs of
+the same configuration diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Leaf keys that legitimately differ between identical runs (host timing,
+#: provenance stamps) — never reported as divergence.
+IGNORED_KEYS: frozenset[str] = frozenset(
+    {"elapsed_seconds", "prepare_seconds", "date", "python", "path", "out"}
+)
+
+
+def load_payload(path: str | Path):
+    """Load a JSON payload, or a JSONL stream as a list of rows."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line]
+    return json.loads(text)
+
+
+def walk_diff(a, b, path: str = "", *, limit: int = 50) -> tuple[list[dict], int]:
+    """Structurally compare *a* and *b*; returns (divergences, leaves_compared).
+
+    Each divergence is ``{"path", "a", "b"}`` with a ``/``-separated path
+    of dict keys and list indices.  Recording stops after *limit* entries
+    (leaf counting continues), so pathological diffs stay readable.
+    """
+    out: list[dict] = []
+    leaves = 0
+
+    def note(p, va, vb):
+        if len(out) < limit:
+            out.append({"path": p or "(root)", "a": va, "b": vb})
+
+    def recurse(x, y, p):
+        nonlocal leaves
+        if isinstance(x, dict) and isinstance(y, dict):
+            for key in sorted(set(x) | set(y), key=str):
+                if key in IGNORED_KEYS:
+                    continue
+                sub = f"{p}/{key}" if p else str(key)
+                if key not in x:
+                    leaves += 1
+                    note(sub, None, y[key])
+                elif key not in y:
+                    leaves += 1
+                    note(sub, x[key], None)
+                else:
+                    recurse(x[key], y[key], sub)
+            return
+        if isinstance(x, list) and isinstance(y, list):
+            if len(x) != len(y):
+                note(f"{p}/length" if p else "length", len(x), len(y))
+            for i, (xi, yi) in enumerate(zip(x, y)):
+                recurse(xi, yi, f"{p}/{i}" if p else str(i))
+            leaves += abs(len(x) - len(y))
+            return
+        leaves += 1
+        # Scalars (or mismatched container kinds).  Int-vs-float equality
+        # is fine here — 2 == 2.0 is not a divergence worth reporting.
+        if x != y:
+            note(p, x, y)
+
+    recurse(a, b, path)
+    return out, leaves
+
+
+def _lifecycle_rows(payload):
+    """Extract lifecycle rows from a payload, if it carries any."""
+    if isinstance(payload, list):
+        rows = payload  # a raw lifecycle JSONL stream
+    elif isinstance(payload, dict):
+        rows = payload.get("lifecycle", {}).get("records")
+    else:
+        rows = None
+    if rows and all(isinstance(r, dict) and "gid" in r and "commit" in r
+                    for r in rows):
+        return rows
+    return None
+
+
+def first_divergent_commit(rows_a: list[dict],
+                           rows_b: list[dict]) -> dict | None:
+    """First position where the two commit streams disagree, or None.
+
+    Compares (gid, commit-cycle) pairs in commit order; a length mismatch
+    past the common prefix is itself a divergence (one run committed more).
+    """
+    for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+        if ra["gid"] != rb["gid"] or ra["commit"] != rb["commit"]:
+            return {"index": i,
+                    "a": {"gid": ra["gid"], "commit": ra["commit"],
+                          "pc": ra.get("pc"), "asm": ra.get("asm")},
+                    "b": {"gid": rb["gid"], "commit": rb["commit"],
+                          "pc": rb.get("pc"), "asm": rb.get("asm")}}
+    if len(rows_a) != len(rows_b):
+        i = min(len(rows_a), len(rows_b))
+        longer = rows_a if len(rows_a) > len(rows_b) else rows_b
+        extra = longer[i]
+        side = "a" if longer is rows_a else "b"
+        return {"index": i, "length_a": len(rows_a), "length_b": len(rows_b),
+                side: {"gid": extra["gid"], "commit": extra["commit"],
+                       "pc": extra.get("pc"), "asm": extra.get("asm")}}
+    return None
+
+
+def diff_payloads(a, b, *, limit: int = 50) -> dict:
+    """Full differential report between two payloads.
+
+    Returns ``{"identical", "leaves_compared", "divergences",
+    "first_divergent_commit"}`` — the latter only meaningful when both
+    payloads carry lifecycle records.
+    """
+    divergences, leaves = walk_diff(a, b, limit=limit)
+    rows_a, rows_b = _lifecycle_rows(a), _lifecycle_rows(b)
+    first = (first_divergent_commit(rows_a, rows_b)
+             if rows_a is not None and rows_b is not None else None)
+    return {
+        "identical": not divergences and first is None,
+        "leaves_compared": leaves,
+        "divergences": divergences,
+        "first_divergent_commit": first,
+    }
+
+
+def render_diff(report: dict, name_a: str = "A", name_b: str = "B") -> str:
+    """Human-readable rendering of a :func:`diff_payloads` report."""
+    lines: list[str] = []
+    first = report["first_divergent_commit"]
+    if first is not None:
+        lines.append("first divergent committed instruction:")
+        lines.append(f"  commit-stream index {first['index']}")
+        for side, name in (("a", name_a), ("b", name_b)):
+            info = first.get(side)
+            if info is not None:
+                asm = f"  {info['asm']}" if info.get("asm") else ""
+                lines.append(f"  {name}: gid={info['gid']} "
+                             f"commit_cycle={info['commit']}"
+                             f" pc={info.get('pc')}{asm}")
+        if "length_a" in first:
+            lines.append(f"  commit counts: {name_a}={first['length_a']} "
+                         f"{name_b}={first['length_b']}")
+    divergences = report["divergences"]
+    if divergences:
+        lines.append(f"{len(divergences)} divergent value(s) "
+                     f"({report['leaves_compared']} leaves compared):")
+        for d in divergences:
+            lines.append(f"  {d['path']}: {name_a}={d['a']!r} "
+                         f"{name_b}={d['b']!r}")
+    if not lines:
+        lines.append(f"payloads identical "
+                     f"({report['leaves_compared']} leaves compared)")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Konata pipeline-viewer export.
+
+Konata (https://github.com/shioyadan/Konata) renders gem5/Onikiri2-style
+pipeline logs as a scrollable cycle-by-instruction grid — exactly the view
+that makes decoupled execution legible: the AP's loads issuing ahead,
+the CP consuming LDQ values cycles later, CMAS slices overlapping both.
+
+:func:`write_konata` serializes resolved lifecycle rows (see
+:meth:`repro.telemetry.lifecycle.LifecycleCollector.rows`) into the
+``Kanata 0004`` text format.  Each dynamic instruction becomes one Konata
+instruction with five stages:
+
+========  ==========================================
+``F``     fetch → dispatch (front-end / fetch queue)
+``D``     dispatch → ready (producer / queue waits)
+``R``     ready → issue (FU select wait)
+``X``     issue → complete (execute or memory access)
+``C``     complete → commit (in-order retire wait)
+========  ==========================================
+
+Zero-length phases are skipped (Konata treats a same-cycle ``S``/``E``
+pair as noise), and instructions retire in commit order, matching the
+collector's ring ordering.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Stage lane names in pipeline order, keyed by (start_field, end_field).
+_STAGES: tuple[tuple[str, str, str], ...] = (
+    ("F", "fetch", "dispatch"),
+    ("D", "dispatch", "ready"),
+    ("R", "ready", "issue"),
+    ("X", "issue", "complete"),
+    ("C", "complete", "commit"),
+)
+
+
+def konata_lines(rows: list[dict]) -> list[str]:
+    """Render resolved lifecycle rows as Kanata-format lines.
+
+    *rows* must be in commit order (as produced by
+    ``LifecycleCollector.rows()``); the Konata uid/retire ids are assigned
+    from that order so the viewer's retirement sequence matches the
+    machine's.
+    """
+    # Konata's file commands are cycle-ordered: every command applies at
+    # the current simulation cycle, advanced by C directives.  Emit each
+    # instruction's commands tagged with (cycle, serial) and sort — the
+    # serial keeps same-cycle commands in a deterministic, valid order
+    # (I/L before the stage starts that reference the uid).
+    tids: dict[str, int] = {}
+    tagged: list[tuple[int, int, str]] = []
+    serial = 0
+    for uid, row in enumerate(rows):
+        tid = tids.setdefault(row["core"], len(tids))
+        start = row["fetch"]
+        tagged.append((start, serial, f"I\t{uid}\t{row['gid']}\t{tid}"))
+        serial += 1
+        tagged.append(
+            (start, serial, f"L\t{uid}\t0\t{row['pc']}: {row['asm']}"))
+        serial += 1
+        detail = (f"gid={row['gid']} core={row['core']} pos={row['pos']}"
+                  + (f" mem={row['mem']}" if row["mem"] else ""))
+        tagged.append((start, serial, f"L\t{uid}\t1\t{detail}"))
+        serial += 1
+        for lane, begin_key, end_key in _STAGES:
+            begin, end = row[begin_key], row[end_key]
+            if end <= begin:
+                continue  # zero-length phase — no box to draw
+            tagged.append((begin, serial, f"S\t{uid}\t0\t{lane}"))
+            serial += 1
+            tagged.append((end, serial, f"E\t{uid}\t0\t{lane}"))
+            serial += 1
+        tagged.append((row["commit"], serial, f"R\t{uid}\t{uid}\t0"))
+        serial += 1
+    tagged.sort()
+
+    lines = ["Kanata\t0004"]
+    cycle: int | None = None
+    for at, _, text in tagged:
+        if cycle is None:
+            lines.append(f"C=\t{at}")
+            cycle = at
+        elif at != cycle:
+            lines.append(f"C\t{at - cycle}")
+            cycle = at
+        lines.append(text)
+    return lines
+
+
+def write_konata(rows: list[dict], path: str | Path) -> int:
+    """Write *rows* to *path* in Kanata format; returns instruction count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write("\n".join(konata_lines(rows)) + "\n")
+    return len(rows)

@@ -65,19 +65,48 @@ NULL_SINK = NullSink()
 
 
 class MemorySink(Sink):
-    """Keep events in memory as tuples (tests and ad-hoc analysis)."""
+    """Keep events in memory as tuples (tests and ad-hoc analysis).
 
-    def __init__(self) -> None:
+    *max_events* bounds growth: once reached, further events are counted
+    in :attr:`dropped` instead of stored (the oldest — usually the most
+    interesting for a failure near the start — are kept).  A ``--verify``
+    run with full telemetry can emit one event per dynamic instruction;
+    without a cap that is the run's whole footprint in one list.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 (or None)")
+        self.max_events = max_events
         self.events: list[tuple] = []
+        self.dropped = 0
+
+    def _full(self) -> bool:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return True
+        return False
 
     def duration(self, track, name, ts, dur, args=None) -> None:
-        self.events.append(("duration", track, name, ts, dur, args))
+        if not self._full():
+            self.events.append(("duration", track, name, ts, dur, args))
 
     def instant(self, track, name, ts, args=None) -> None:
-        self.events.append(("instant", track, name, ts, args))
+        if not self._full():
+            self.events.append(("instant", track, name, ts, args))
 
     def counter(self, track, name, ts, value) -> None:
-        self.events.append(("counter", track, name, ts, value))
+        if not self._full():
+            self.events.append(("counter", track, name, ts, value))
+
+    def close(self) -> dict:
+        """No resources to release; returns the capture summary."""
+        return {"events": len(self.events), "dropped": self.dropped}
+
+    def __repr__(self) -> str:
+        cap = self.max_events if self.max_events is not None else "unbounded"
+        return (f"MemorySink(events={len(self.events)}, cap={cap}, "
+                f"dropped={self.dropped})")
 
     # convenience selectors -------------------------------------------------
     def of_kind(self, kind: str) -> list[tuple]:
@@ -107,8 +136,18 @@ class TeeSink(Sink):
             s.counter(track, name, ts, value)
 
     def close(self) -> None:
+        # Every child must get its flush even when an earlier one fails
+        # (a full disk on one file must not lose the other's trace); the
+        # first error is re-raised once all have been attempted.
+        first_error: Exception | None = None
         for s in self.sinks:
-            s.close()
+            try:
+                s.close()
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
 
 class JsonlSink(Sink):

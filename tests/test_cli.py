@@ -11,7 +11,8 @@ class TestParser:
     def test_commands_accepted(self):
         parser = build_parser()
         for cmd in ("table1", "table2", "figure8", "figure9", "figure10",
-                    "all", "suite", "stats", "trace", "cache"):
+                    "all", "suite", "stats", "trace", "lifecycle", "diff",
+                    "cache"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_unknown_command_rejected(self):
@@ -61,6 +62,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["table1", "clear"])
 
+    def test_lifecycle_flags(self):
+        args = build_parser().parse_args(
+            ["lifecycle", "--bench", "field", "--model", "hidisc",
+             "--format", "kanata", "--out", "run.kanata",
+             "--heartbeat", "5000", "--lifecycle-limit", "256",
+             "--top", "5"]
+        )
+        assert args.command == "lifecycle" and args.trace_format == "kanata"
+        assert args.out == "run.kanata" and args.heartbeat == 5000
+        assert args.lifecycle_limit == 256 and args.top == 5
+        # defaults: format resolved later (kanata), heartbeat/limit off
+        args = build_parser().parse_args(["lifecycle"])
+        assert args.trace_format is None and args.heartbeat == 0
+        assert args.lifecycle_limit == 0 and args.top == 12
+
+    def test_negative_heartbeat_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lifecycle", "--heartbeat", "-1"])
+
+    def test_kanata_format_only_for_lifecycle(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--format", "kanata"])
+
+    def test_diff_positional_paths(self):
+        args = build_parser().parse_args(["diff", "a.json", "b.json"])
+        assert args.cache_action == "a.json" and args.diff_b == "b.json"
+
+    def test_diff_requires_both_paths(self):
+        for argv in (["diff"], ["diff", "a.json"]):
+            with pytest.raises(SystemExit):
+                main(argv)
+
 
 class TestExecution:
     def test_table1_runs(self, capsys):
@@ -102,6 +135,40 @@ class TestExecution:
         events = doc["traceEvents"]
         assert any(e["ph"] == "X" for e in events)
         assert any(e["ph"] == "C" for e in events)
+
+    def test_lifecycle_quick_kanata(self, capsys, tmp_path):
+        out_path = tmp_path / "run.kanata"
+        json_path = tmp_path / "life.json"
+        assert main(["lifecycle", "--quick", "--no-progress",
+                     "--bench", "field", "--model", "superscalar",
+                     "--out", str(out_path), "--json", str(json_path),
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Konata" in out and "Critical-path attribution" in out
+        lines = out_path.read_text().splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert all(l.split("\t", 1)[0] in
+                   {"Kanata", "C=", "C", "I", "L", "S", "E", "R"}
+                   for l in lines)
+        payload = json.loads(json_path.read_text())["lifecycle"]
+        assert payload["benchmark"] == "field"
+        assert payload["captured"] == len(payload["records"])
+        assert payload["dropped"] == 0
+        assert len(payload["critical_path"]) <= 3
+
+    def test_lifecycle_quick_jsonl_with_limit(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        assert main(["lifecycle", "--quick", "--no-progress",
+                     "--bench", "field", "--model", "superscalar",
+                     "--format", "jsonl", "--out", str(out_path),
+                     "--lifecycle-limit", "64"]) == 0
+        capsys.readouterr()
+        rows = [json.loads(l) for l in
+                out_path.read_text().splitlines() if l]
+        assert rows, "JSONL stream is empty"
+        # the stream got every commit even though the ring kept only 64
+        assert len(rows) > 64
+        assert all(r["fetch"] <= r["commit"] for r in rows)
 
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         cache_dir = tmp_path / "cache"

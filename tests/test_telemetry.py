@@ -41,6 +41,7 @@ from repro.telemetry import (
     render_cpi_stacks,
     stack_total,
 )
+from repro.telemetry.sampler import take_sample
 
 from .conftest import build_load_compute_store, build_store_loop
 
@@ -71,6 +72,50 @@ class TestSinks:
         tee.instant("t", "x", 1)
         assert len(a.events) == len(b.events) == 1
         assert TeeSink(NullSink()).enabled is False
+
+    def test_memory_sink_cap_keeps_oldest_and_counts_drops(self):
+        sink = MemorySink(max_events=2)
+        sink.instant("t", "first", 0)
+        sink.duration("t", "second", 1, 1)
+        sink.counter("t", "third", 2, 5)
+        sink.instant("t", "fourth", 3)
+        assert [e[2] for e in sink.events] == ["first", "second"]
+        assert sink.dropped == 2
+        assert sink.close() == {"events": 2, "dropped": 2}
+
+    def test_memory_sink_repr_shows_cap_state(self):
+        sink = MemorySink(max_events=3)
+        sink.instant("t", "x", 0)
+        assert repr(sink) == "MemorySink(events=1, cap=3, dropped=0)"
+        assert "cap=unbounded" in repr(MemorySink())
+
+    def test_memory_sink_unbounded_by_default(self):
+        sink = MemorySink()
+        for i in range(100):
+            sink.instant("t", "x", i)
+        assert len(sink.events) == 100 and sink.dropped == 0
+
+    def test_memory_sink_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            MemorySink(max_events=0)
+
+    def test_tee_sink_close_reaches_all_children_on_error(self):
+        class BoomSink(MemorySink):
+            def close(self):
+                raise OSError("disk full")
+
+        closed = []
+
+        class TrackingSink(MemorySink):
+            def close(self):
+                closed.append(self)
+                return super().close()
+
+        survivor = TrackingSink()
+        tee = TeeSink(BoomSink(), survivor, TrackingSink())
+        with pytest.raises(OSError, match="disk full"):
+            tee.close()
+        assert len(closed) == 2 and closed[0] is survivor
 
     def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
         path = tmp_path / "events.jsonl"
@@ -116,6 +161,24 @@ class TestSinks:
             TelemetryConfig(sample_interval=-1)
         with pytest.raises(ConfigError):
             TelemetryConfig(trace_format="xml")
+        with pytest.raises(ConfigError):
+            TelemetryConfig(lifecycle_max_records=-1)
+        with pytest.raises(ConfigError):
+            TelemetryConfig(heartbeat_interval=-5)
+
+    def test_telemetry_from_config_lifecycle_and_heartbeat(self, tmp_path):
+        tel = Telemetry.from_config(
+            TelemetryConfig(lifecycle=True, lifecycle_max_records=128,
+                            heartbeat_interval=1000))
+        assert tel.lifecycle is not None
+        assert tel.lifecycle.max_records == 128
+        assert tel.heartbeat is not None and tel.heartbeat.interval == 1000
+        off = Telemetry.from_config(TelemetryConfig())
+        assert off.lifecycle is None and off.heartbeat is None
+        streamed = Telemetry.from_config(
+            TelemetryConfig(), lifecycle_jsonl=tmp_path / "life.jsonl")
+        assert streamed.lifecycle is not None
+        streamed.close()
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +465,42 @@ class TestEventStream:
     def test_sampler_rejects_bad_interval(self):
         with pytest.raises(ValueError):
             Sampler(0)
+
+
+class TestSamplerEdgeCases:
+    def test_interval_one_samples_every_visited_cycle(self, config):
+        program = build_store_loop(16)
+        trace, _ = generate_trace(program)
+        tel = Telemetry(cpi=False, sample_interval=1)
+        result = Machine(config, program.copy(), trace, mode="superscalar",
+                         telemetry=tel).run()
+        cycles = [s.cycle for s in tel.samples]
+        assert cycles and cycles[0] == 0
+        assert cycles == sorted(set(cycles))  # strictly increasing
+        assert cycles[-1] < result.total_cycles
+
+    def test_zero_cycle_run_records_nothing(self, config):
+        """An empty trace finishes at cycle 0 without tripping the
+        sampler (or dividing by zero in the CPI accounting)."""
+        program = build_store_loop(16)
+        tel = Telemetry(cpi=True, sample_interval=1)
+        result = Machine(config, program.copy(), [], mode="superscalar",
+                         telemetry=tel).run()
+        assert result.cycles == 0
+        assert result.committed == {"main": 0}
+        assert tel.samples == []
+        assert stack_total(result.cpi_stacks["main"]) == 0
+
+    def test_take_sample_on_idle_machine(self, config):
+        program = build_store_loop(16)
+        tel = Telemetry(cpi=False, sample_interval=1)
+        machine = Machine(config, program.copy(), [], mode="superscalar",
+                          telemetry=tel)
+        sample = take_sample(machine, 0)
+        assert sample.cycle == 0
+        assert sample.queues == {"LDQ": 0, "SDQ": 0, "SAQ": 0}
+        assert sample.cores == {"main": (0, 0)}
+        assert sample.as_dict()["outstanding_misses"] == 0
 
 
 class TestArchQueueSink:
