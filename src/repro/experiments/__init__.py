@@ -7,12 +7,14 @@
 * :mod:`repro.experiments.figure10` — IPC vs memory latency.
 * :mod:`repro.experiments.cache` — persistent compilation (run) cache.
 * :mod:`repro.experiments.checkpoint` — crash-resumable suite checkpoints.
+* :mod:`repro.experiments.ledger` — append-only per-run ledger.
 * :mod:`repro.experiments.parallel` — process-pool grid execution.
 * :mod:`repro.experiments.cli` — the ``hidisc`` command.
 """
 
 from .cache import RunCache, compile_key, prepare_cached
 from .checkpoint import SuiteCheckpoint, suite_key
+from .ledger import RunLedger, ledger_path, new_run_id
 from .figure8 import Figure8, figure8
 from .figure9 import Figure9, figure9
 from .figure10 import FIGURE10_BENCHMARKS, Figure10, figure10
@@ -41,6 +43,7 @@ __all__ = [
     "MODEL_ORDER",
     "PAPER",
     "RunCache",
+    "RunLedger",
     "SuiteCheckpoint",
     "SuiteResult",
     "Table2",
@@ -50,6 +53,8 @@ __all__ = [
     "figure10",
     "figure8",
     "figure9",
+    "ledger_path",
+    "new_run_id",
     "prepare",
     "prepare_cached",
     "run_benchmark",

@@ -39,6 +39,7 @@ import tempfile
 from pathlib import Path
 
 from ..config import MachineConfig
+from ..telemetry import metrics, spans
 from ..workloads import Workload
 
 #: Environment variable overriding the default cache directory.
@@ -132,20 +133,28 @@ class RunCache:
             blob = path.read_bytes()
         except OSError:
             self.misses += 1
+            metrics.inc("cache_misses")
+            spans.instant("cache_miss", cat="cache", key=key[:12])
             return None
-        try:
-            obj = pickle.loads(blob)
-        except Exception:
-            obj = None
-        if obj is None or getattr(obj, "fingerprint", None) != key:
-            self.corrupt += 1
-            self.misses += 1
+        with spans.span("cache_load", cat="cache", key=key[:12]) as span:
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.hits += 1
+                obj = pickle.loads(blob)
+            except Exception:
+                obj = None
+            if obj is None or getattr(obj, "fingerprint", None) != key:
+                self.corrupt += 1
+                self.misses += 1
+                metrics.inc("cache_corrupt")
+                metrics.inc("cache_misses")
+                span.set(hit=False, corrupt=True)
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self.hits += 1
+            metrics.inc("cache_hits")
+            span.set(hit=True)
         return obj
 
     def store(self, key: str, obj) -> None:
@@ -161,9 +170,10 @@ class RunCache:
         except OSError:
             return
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self.path_for(key))
+            with spans.span("cache_store", cat="cache", key=key[:12]):
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path_for(key))
         except OSError:
             try:
                 os.unlink(tmp)
@@ -177,6 +187,7 @@ class RunCache:
                 pass
             raise
         self.stores += 1
+        metrics.inc("cache_stores")
 
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
@@ -185,13 +196,28 @@ class RunCache:
             return []
         return sorted(self.root.glob(f"*{ENTRY_SUFFIX}"))
 
+    def suite_cells(self) -> list[Path]:
+        """Checkpoint cell files under ``suites/`` (all suite keys)."""
+        suites = self.root / SUITES_DIR
+        if not suites.is_dir():
+            return []
+        return sorted(suites.rglob(f"*{ENTRY_SUFFIX}"))
+
     def stats(self) -> dict:
-        """Store contents + this instance's traffic counters."""
+        """Store contents + this instance's traffic counters.
+
+        Accounts both halves of the on-disk footprint: the compilation
+        entries at the root *and* the per-cell suite checkpoints under
+        ``suites/`` (which ``clear()`` also removes).
+        """
         entries = self.entries()
+        cells = self.suite_cells()
         return {
             "root": str(self.root),
             "entries": len(entries),
             "total_bytes": sum(p.stat().st_size for p in entries),
+            "suite_cells": len(cells),
+            "suite_bytes": sum(p.stat().st_size for p in cells),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
@@ -208,14 +234,14 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        for cell in self.suite_cells():
+            try:
+                cell.unlink()
+                removed += 1
+            except OSError:
+                pass
         suites = self.root / SUITES_DIR
         if suites.is_dir():
-            for cell in sorted(suites.rglob(f"*{ENTRY_SUFFIX}")):
-                try:
-                    cell.unlink()
-                    removed += 1
-                except OSError:
-                    pass
             for directory in sorted(suites.iterdir()):
                 if directory.is_dir():
                     try:

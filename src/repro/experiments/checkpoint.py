@@ -35,6 +35,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from ..config import MachineConfig
+from ..telemetry import metrics, spans
 from ..workloads import Workload
 from .cache import (
     ENTRY_SUFFIX,
@@ -96,9 +97,12 @@ class SuiteCheckpoint:
         except OSError:
             return
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self.cell_path(benchmark, mode))
+            with spans.span("checkpoint_store", cat="checkpoint",
+                            cell=f"{benchmark}/{mode}"):
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.cell_path(benchmark, mode))
         except OSError:
             try:
                 os.unlink(tmp)
@@ -112,6 +116,7 @@ class SuiteCheckpoint:
                 pass
             raise
         self.stores += 1
+        metrics.inc("checkpoint_stores")
 
     def load(self, benchmark: str, mode: str):
         """Return the checkpointed :class:`RunResult`, or ``None``.
@@ -130,12 +135,18 @@ class SuiteCheckpoint:
             result = None
         if result is None or getattr(result, "benchmark", None) != benchmark:
             self.corrupt += 1
+            metrics.inc("checkpoint_corrupt")
+            spans.instant("checkpoint_corrupt_cell", cat="checkpoint",
+                          cell=f"{benchmark}/{mode}")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.loads += 1
+        metrics.inc("checkpoint_replayed")
+        spans.instant("checkpoint_replay", cat="checkpoint",
+                      cell=f"{benchmark}/{mode}")
         return result
 
     # ------------------------------------------------------------------

@@ -16,6 +16,8 @@ Installed as the ``hidisc`` console script::
     hidisc diff run_a.json run_b.json      # first divergent commit + values
     hidisc cache stats
     hidisc cache clear
+    hidisc runs list                       # recent runs from the ledger
+    hidisc runs report                     # latest run + regression check
     hidisc bench                           # perf snapshot -> BENCH_<date>.json
 
 Experiment commands run compilations through a persistent on-disk cache
@@ -24,12 +26,21 @@ Experiment commands run compilations through a persistent on-disk cache
 processes with ``--jobs N`` (0 = all CPUs).  Suite runs checkpoint every
 completed grid cell into the cache, so an interrupted run continues with
 ``--resume``.
+
+Every experiment run appends one record to the ledger
+(``<cache-dir>/ledger.jsonl``; see :mod:`repro.experiments.ledger`) —
+``hidisc runs list|show|report`` renders it.  ``--orch-trace PATH``
+additionally records the host orchestration (compilation, pool rounds,
+cache and checkpoint traffic) as a Perfetto-loadable timeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from dataclasses import replace
 
 from ..config import MachineConfig, TelemetryConfig
@@ -42,8 +53,10 @@ from ..telemetry import (
     diff_payloads,
     lifecycle_to_chrome,
     load_payload,
+    metrics,
     render_critical_path,
     render_diff,
+    spans,
     write_konata,
 )
 from ..workloads import WORKLOADS_BY_NAME, get_workload
@@ -51,6 +64,15 @@ from .cache import RunCache, prepare_cached
 from .figure8 import figure8
 from .figure9 import figure9
 from .figure10 import figure10
+from .ledger import (
+    RunLedger,
+    build_record,
+    ledger_path,
+    new_run_id,
+    render_regressions,
+    render_run_report,
+    render_runs_list,
+)
 from .models import MODEL_ORDER
 from .reporting import render_run_stats, write_json
 from .runner import run_model
@@ -60,9 +82,18 @@ from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
              "suite", "stats", "trace", "lifecycle", "diff", "cache",
-             "faults", "bench")
+             "faults", "bench", "runs")
 
 _CACHE_ACTIONS = ("stats", "clear")
+
+_RUNS_ACTIONS = ("list", "show", "report")
+
+#: Commands that append a ledger record (experiment runs — not the
+#: bookkeeping commands that merely inspect caches/ledgers/payloads).
+_LEDGER_COMMANDS = frozenset(
+    {"table2", "figure8", "figure9", "figure10", "all", "suite",
+     "stats", "trace", "lifecycle", "faults"}
+)
 
 #: lifecycle output defaults per format (when --out is not given).
 _LIFECYCLE_OUT = {"kanata": "hidisc.kanata",
@@ -86,10 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "seeded fault-injection campaign")
     parser.add_argument("cache_action", nargs="?",
                         help="for 'hidisc cache': 'stats' (default) or "
-                             "'clear'; for 'hidisc diff': the first "
-                             "payload path")
+                             "'clear'; for 'hidisc runs': 'list' "
+                             "(default), 'show' or 'report'; for "
+                             "'hidisc diff': the first payload path")
     parser.add_argument("diff_b", nargs="?", metavar="payload_b",
-                        help="for 'hidisc diff': the second payload path")
+                        help="for 'hidisc diff': the second payload path; "
+                             "for 'hidisc runs show|report': a run-id "
+                             "prefix (default: the newest run)")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down inputs (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=2003,
@@ -120,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cycle budget per timing run (default "
                              f"{MachineConfig().max_cycles}; a run "
                              "exceeding it raises CycleLimitError)")
+    parser.add_argument("--orch-trace", metavar="PATH", default=None,
+                        help="record host orchestration spans (prepare, "
+                             "pool rounds, cache/checkpoint traffic, "
+                             "per-worker lanes) and write a "
+                             "Perfetto-loadable trace_event JSON here")
+    parser.add_argument("--limit", type=_positive, default=20, metavar="N",
+                        help="for 'hidisc runs list': newest N ledger "
+                             "entries to show (default 20)")
     injection = parser.add_argument_group(
         "faults options", "seeded fault-injection campaigns "
                           "(repro.resilience)")
@@ -368,6 +410,51 @@ def _run_diff(args, payload: dict) -> int:
     return 0 if report["identical"] else 1
 
 
+def _run_runs(args, payload: dict) -> int:
+    """The 'runs' command: render the persistent run ledger.
+
+    ``list`` shows the newest entries, ``show`` dumps one record as JSON,
+    ``report`` renders its metrics/span digest plus a regression check
+    against the most recent earlier run of the same command.
+    """
+    ledger = RunLedger(ledger_path(RunCache(args.cache_dir).root))
+    action = args.cache_action or "list"
+    if action == "list":
+        entries = ledger.entries(limit=args.limit)
+        print(f"ledger at {ledger.path}:")
+        print(render_runs_list(entries))
+        payload["runs"] = entries
+        return 0
+    if args.diff_b:
+        entry = ledger.find(args.diff_b)
+        if entry is None:
+            print(f"hidisc runs {action}: no ledger entry matching "
+                  f"{args.diff_b!r} in {ledger.path}", file=sys.stderr)
+            return 2
+    else:
+        newest = ledger.entries(limit=1)
+        if not newest:
+            print(f"hidisc runs {action}: ledger at {ledger.path} is "
+                  f"empty — run any experiment command first",
+                  file=sys.stderr)
+            return 2
+        entry = newest[-1]
+    if action == "show":
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        payload["runs"] = [entry]
+        return 0
+    print(render_run_report(entry))
+    baseline = ledger.baseline_for(entry)
+    print()
+    if baseline is not None:
+        print(render_regressions(entry, baseline))
+    else:
+        print("no earlier run of the same command to compare against")
+    payload["runs"] = [entry]
+    payload["baseline"] = baseline
+    return 0
+
+
 def _stats_payload(result, telemetry: Telemetry) -> dict:
     return {
         "machine": result.machine,
@@ -387,9 +474,7 @@ def _stats_payload(result, telemetry: Telemetry) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _validate(parser: argparse.ArgumentParser, args) -> None:
     if args.command == "cache":
         if (args.cache_action is not None
                 and args.cache_action not in _CACHE_ACTIONS):
@@ -398,14 +483,62 @@ def main(argv: list[str] | None = None) -> int:
         if args.diff_b is not None:
             parser.error(f"unexpected argument {args.diff_b!r} after "
                          f"'cache {args.cache_action}'")
+    elif args.command == "runs":
+        if (args.cache_action is not None
+                and args.cache_action not in _RUNS_ACTIONS):
+            parser.error(f"unknown runs action {args.cache_action!r} "
+                         f"(expected {', '.join(_RUNS_ACTIONS)})")
+        if args.diff_b is not None and (args.cache_action or "list") == "list":
+            parser.error(f"unexpected argument {args.diff_b!r} after "
+                         f"'runs list' (run ids select 'show'/'report')")
     elif args.command == "diff":
         if args.cache_action is None or args.diff_b is None:
             parser.error("diff needs two payload paths: "
                          "hidisc diff <payload_a> <payload_b>")
     elif args.cache_action is not None:
-        parser.error(f"'{args.cache_action}' is only valid after 'cache'")
+        parser.error(f"'{args.cache_action}' is only valid after 'cache' "
+                     f"or 'runs'")
     if args.trace_format == "kanata" and args.command != "lifecycle":
         parser.error("--format kanata is only valid for 'hidisc lifecycle'")
+
+
+def _finalize(args, argv, config: MachineConfig, cache: RunCache | None,
+              tracer, run_id: str, outcome: str, code: int,
+              elapsed: float, progress) -> None:
+    """Post-run bookkeeping: flush the orchestration trace and append the
+    ledger record (both best-effort; never raises into the exit path)."""
+    metrics.record_peak_rss()
+    snapshot = metrics.snapshot()
+    span_summary = None
+    if tracer is not None:
+        spans.disable()
+        count = spans.write_orchestration_trace(
+            tracer.records, args.orch_trace, main_pid=os.getpid())
+        span_summary = spans.summarize(tracer.records)
+        if progress:
+            progress(f"orchestration trace written to {args.orch_trace} "
+                     f"({count} events) — open in https://ui.perfetto.dev")
+    if cache is None or args.command not in _LEDGER_COMMANDS:
+        return
+    record = build_record(
+        run_id=run_id,
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        outcome=outcome,
+        exit_code=code,
+        elapsed_seconds=elapsed,
+        config=config,
+        metrics_snapshot=snapshot,
+        spans_summary=span_summary,
+        extra={"quick": args.quick, "jobs": args.jobs},
+    )
+    RunLedger(ledger_path(cache.root)).append(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
     config = MachineConfig()
     if args.max_cycles is not None:
         config = replace(config, max_cycles=args.max_cycles)
@@ -414,6 +547,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     cache = None if args.no_cache else RunCache(args.cache_dir)
 
+    metrics.reset()
+    tracer = spans.enable() if args.orch_trace else None
+    run_id = new_run_id()
+    start = time.perf_counter()
+    outcome, code = "ok", 0
+    try:
+        code = _dispatch(args, config, progress, cache)
+        if code:
+            outcome = f"exit:{code}"
+        return code
+    except SystemExit as exc:
+        code = exc.code if isinstance(exc.code, int) else 2
+        outcome = f"exit:{code}"
+        raise
+    except BaseException as exc:
+        outcome = f"error:{type(exc).__name__}"
+        code = 1
+        raise
+    finally:
+        _finalize(args, argv, config, cache, tracer, run_id, outcome, code,
+                  time.perf_counter() - start, progress)
+
+
+def _dispatch(args, config: MachineConfig, progress,
+              cache: RunCache | None) -> int:
     payload: dict = {}
     if args.command == "cache":
         cache = RunCache(args.cache_dir)
@@ -425,8 +583,17 @@ def main(argv: list[str] | None = None) -> int:
         else:
             stats = cache.stats()
             print(f"cache at {stats['root']}: {stats['entries']} entries, "
-                  f"{stats['total_bytes']} bytes")
+                  f"{stats['total_bytes']} bytes; suite checkpoints: "
+                  f"{stats['suite_cells']} cells, "
+                  f"{stats['suite_bytes']} bytes")
             payload["cache"] = stats
+
+    if args.command == "runs":
+        code = _run_runs(args, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
 
     if args.command == "table1":
         print("Table 1: Simulation parameters")

@@ -33,6 +33,7 @@ serially (see :func:`repro.experiments.suite.run_suite`).
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
@@ -44,6 +45,7 @@ from dataclasses import dataclass
 
 from ..config import MachineConfig
 from ..errors import ConfigError
+from ..telemetry import metrics, spans
 from ..workloads import Workload
 
 ProgressFn = Callable[[str], None]
@@ -111,6 +113,72 @@ def resolve_jobs(jobs: int | None) -> int:
 # ----------------------------------------------------------------------
 # Worker entry points (module-level so they pickle).
 
+def _observed(fn):
+    """Bracket a worker entry point with a per-task span tracer and
+    metrics scope (:func:`repro.telemetry.spans.begin_worker_task`), so
+    the task's observations ship back to the parent as ``host_spans`` /
+    ``host_metrics`` attributes on the result and re-merge onto the
+    orchestrator's timeline (see :func:`_absorb_observations`).
+
+    When orchestration tracing is off (the default) the bracket resolves
+    to ``None`` immediately and the task runs exactly as before.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        tracer = spans.begin_worker_task()
+        if tracer is None:
+            return fn(*args, **kwargs)
+        scope = metrics.push_scope()
+        try:
+            with tracer.span(fn.__name__, cat="pool"):
+                result = fn(*args, **kwargs)
+        finally:
+            metrics.record_peak_rss()
+            snap = metrics.pop_scope(scope)
+            records = spans.end_worker_task(tracer)
+        try:
+            result.host_spans = [r.as_dict() for r in records]
+            result.host_metrics = snap
+        except AttributeError:
+            pass
+        return result
+    return wrapper
+
+
+def _absorb_observations(result, submitted_ns: int | None = None) -> None:
+    """Merge a worker result's shipped spans/metrics into this process.
+
+    Strips the transport attributes afterwards, so checkpointed cells
+    pickle clean and a resumed suite can never double-count a task's
+    observations.  *submitted_ns* (the parent-side ``time.time_ns`` at
+    submission) turns the gap to the worker's first span into the
+    ``queue_to_pool_seconds`` histogram.
+    """
+    snap = getattr(result, "host_metrics", None)
+    if snap is not None:
+        metrics.merge(snap)
+        try:
+            del result.host_metrics
+        except AttributeError:
+            pass
+    shipped = getattr(result, "host_spans", None)
+    if shipped is None:
+        return
+    records = [spans.SpanRecord(**d) for d in shipped]
+    tracer = spans.current()
+    if tracer is not None:
+        tracer.adopt(records)
+    if submitted_ns is not None and records:
+        wait = (min(r.t0_ns for r in records) - submitted_ns) / 1e9
+        if wait >= 0:
+            metrics.observe("queue_to_pool_seconds", wait)
+    try:
+        del result.host_spans
+    except AttributeError:
+        pass
+
+
+@_observed
 def prepare_task(workload: Workload, config: MachineConfig,
                  cache_dir: str | None):
     """Worker: compile one benchmark, reading/writing the cache if given."""
@@ -120,6 +188,7 @@ def prepare_task(workload: Workload, config: MachineConfig,
     return prepare_cached(workload, config, cache)
 
 
+@_observed
 def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool,
                    verify: bool = False):
     """Worker: replay one compiled benchmark through one machine model.
@@ -151,26 +220,35 @@ def _run_inline(task: Task, progress: ProgressFn | None) -> object:
 def _run_pool_round(tasks: Sequence[Task], pending: Sequence[int],
                     jobs: int, timeout: float | None,
                     progress: ProgressFn | None,
-                    deliver: Callable[[int, object], None]) -> bool:
+                    deliver: Callable[[int, object], None],
+                    submitted: dict[int, int] | None = None) -> bool:
     """One process-pool attempt over the *pending* task indices.
 
     Delivers every result that lands (including salvage of
     already-finished futures after a failure).  Returns True if the pool
     infrastructure broke (worker death, timeout) and some tasks remain
-    undone; task-raised exceptions propagate unchanged.
+    undone; task-raised exceptions propagate unchanged.  *submitted*
+    (if given) records each index's submission wall-stamp for
+    queue-latency accounting.
     """
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
     broken = False
     try:
-        futures = {
-            index: pool.submit(tasks[index].fn, *tasks[index].args)
-            for index in pending
-        }
+        futures: dict[int, object] = {}
+        for index in pending:
+            if submitted is not None:
+                submitted[index] = time.time_ns()
+            futures[index] = pool.submit(tasks[index].fn,
+                                         *tasks[index].args)
         for index, future in futures.items():
             try:
                 result = future.result(timeout=timeout)
             except (BrokenProcessPool, FuturesTimeoutError, OSError) as exc:
                 broken = True
+                metrics.inc("pool_worker_failures")
+                spans.instant("worker_failure", cat="pool",
+                              task=tasks[index].label,
+                              error=type(exc).__name__)
                 if progress:
                     progress(
                         f"  {tasks[index].label}: worker failed "
@@ -222,46 +300,61 @@ def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
     tasks = list(tasks)
     jobs = min(resolve_jobs(jobs), len(tasks))
     results: list = [_UNSET] * len(tasks)
+    #: per-index submission wall-stamp, for queue_to_pool_seconds.
+    submitted: dict[int, int] = {}
 
     def deliver(index: int, value) -> None:
-        if results[index] is _UNSET and on_result is not None:
-            on_result(index, value)
+        if results[index] is _UNSET:
+            _absorb_observations(value, submitted.get(index))
+            if on_result is not None:
+                on_result(index, value)
         results[index] = value
 
-    if jobs <= 1:
-        for index, task in enumerate(tasks):
-            deliver(index, _run_inline(task, progress))
-        return results
+    with spans.span("run_tasks", cat="pool", tasks=len(tasks), jobs=jobs):
+        if jobs <= 1:
+            for index, task in enumerate(tasks):
+                deliver(index, _run_inline(task, progress))
+            return results
 
-    attempt = 0
-    while True:
-        pending = [i for i in range(len(tasks)) if results[i] is _UNSET]
-        if not pending:
-            return results
-        if not _run_pool_round(tasks, pending, jobs, timeout, progress,
-                               deliver):
-            return results
-        if attempt >= retries:
-            break
-        delay = backoff * (2 ** attempt)
-        attempt += 1
+        attempt = 0
+        while True:
+            pending = [i for i in range(len(tasks))
+                       if results[i] is _UNSET]
+            if not pending:
+                return results
+            with spans.span("pool_round", cat="pool",
+                            pending=len(pending), attempt=attempt):
+                broken = _run_pool_round(tasks, pending, jobs, timeout,
+                                         progress, deliver, submitted)
+            if not broken:
+                return results
+            if attempt >= retries:
+                break
+            delay = backoff * (2 ** attempt)
+            attempt += 1
+            metrics.inc("pool_retries")
+            remaining = sum(1 for r in results if r is _UNSET)
+            if progress:
+                progress(
+                    f"  rebuilding worker pool for {remaining} unfinished "
+                    f"tasks (retry {attempt}/{retries}, backoff {delay:.2f}s)"
+                )
+            with spans.span("backoff", cat="pool", attempt=attempt,
+                            delay_s=delay):
+                if delay > 0:
+                    time.sleep(delay)
+
         remaining = sum(1 for r in results if r is _UNSET)
-        if progress:
-            progress(
-                f"  rebuilding worker pool for {remaining} unfinished "
-                f"tasks (retry {attempt}/{retries}, backoff {delay:.2f}s)"
-            )
-        if delay > 0:
-            time.sleep(delay)
-
-    remaining = sum(1 for r in results if r is _UNSET)
-    if progress and remaining:
-        progress(f"  retries exhausted; computing {remaining} remaining "
-                 f"tasks serially in-process")
-    for index, task in enumerate(tasks):
-        if results[index] is _UNSET:
-            deliver(index, _run_inline(task, progress))
-    return results
+        if remaining:
+            metrics.inc("pool_fallback_tasks", remaining)
+        if progress and remaining:
+            progress(f"  retries exhausted; computing {remaining} remaining "
+                     f"tasks serially in-process")
+        with spans.span("serial_fallback", cat="pool", tasks=remaining):
+            for index, task in enumerate(tasks):
+                if results[index] is _UNSET:
+                    deliver(index, _run_inline(task, progress))
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ from ..sim import (
 )
 from ..sim.functional import DecoupledFunctionalSimulator, DynInstr, FunctionalSimulator
 from ..slicer import HidiscCompilation, compile_hidisc, validate_separation
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, spans
 from ..workloads import Workload, check_ap_executable
 from .cache import compile_key
 
@@ -93,6 +93,12 @@ def _warmup_positions(workload: Workload, program, dprogram,
 def prepare(workload: Workload, config: MachineConfig,
             verify: bool = True) -> CompiledWorkload:
     """Compile and functionally validate one benchmark."""
+    with spans.span("prepare", cat="compile", benchmark=workload.name):
+        return _prepare(workload, config, verify)
+
+
+def _prepare(workload: Workload, config: MachineConfig,
+             verify: bool) -> CompiledWorkload:
     start = time.perf_counter()
     program = workload.program
 
@@ -183,14 +189,16 @@ def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
     attaches a :class:`~repro.resilience.FaultInjector`; *max_cycles*
     overrides ``config.max_cycles`` for this run only.
     """
-    if verify:
-        from ..resilience.oracle import verified_run
+    with spans.span("run_model", cat="simulate", benchmark=cw.name,
+                    mode=mode, verify=verify):
+        if verify:
+            from ..resilience.oracle import verified_run
 
-        return verified_run(cw, config, mode, telemetry=telemetry,
-                            faults=faults, max_cycles=max_cycles)
-    machine = build_machine(cw, config, mode, telemetry=telemetry,
-                            faults=faults)
-    return machine.run(max_cycles=max_cycles)
+            return verified_run(cw, config, mode, telemetry=telemetry,
+                                faults=faults, max_cycles=max_cycles)
+        machine = build_machine(cw, config, mode, telemetry=telemetry,
+                                faults=faults)
+        return machine.run(max_cycles=max_cycles)
 
 
 @dataclass

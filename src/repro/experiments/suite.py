@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ..config import MachineConfig
 from ..errors import ConfigError, SimulationError
-from ..telemetry import Telemetry
+from ..telemetry import Telemetry, metrics, spans
 from ..workloads import Workload, all_workloads, quick_workloads
 from .cache import RunCache, prepare_cached
 from .checkpoint import SuiteCheckpoint
@@ -144,48 +144,54 @@ def run_suite(
         telemetry = Telemetry(cpi=True)
     start = time.perf_counter()
     suite = SuiteResult(config=config, quick=quick)
-    if jobs != 1:
-        _run_suite_parallel(suite, workloads, config, modes, progress,
-                            cpi=cpi_stacks, jobs=jobs, cache=cache,
-                            task_timeout=task_timeout, verify=verify,
-                            checkpoint=checkpoint, resume=resume)
+    with spans.span("run_suite", cat="suite", benchmarks=len(workloads),
+                    modes=len(modes), jobs=jobs, resume=resume):
+        if jobs != 1:
+            _run_suite_parallel(suite, workloads, config, modes, progress,
+                                cpi=cpi_stacks, jobs=jobs, cache=cache,
+                                task_timeout=task_timeout, verify=verify,
+                                checkpoint=checkpoint, resume=resume)
+            suite.elapsed_seconds = time.perf_counter() - start
+            return suite
+        for workload in workloads:
+            if progress:
+                progress(f"preparing {workload.name} ...")
+            compiled = prepare_cached(workload, config, cache)
+            if progress:
+                progress(
+                    f"  compiled in {compiled.prepare_seconds:.1f}s "
+                    f"({compiled.work} dynamic instructions); simulating ..."
+                )
+            bench = BenchmarkResults(compiled=compiled)
+            for mode in modes:
+                result = (
+                    checkpoint.load(workload.name, mode)
+                    if resume and checkpoint is not None else None
+                )
+                if result is None:
+                    result = run_model(compiled, config, mode,
+                                       telemetry=telemetry, verify=verify)
+                    metrics.inc("cells_completed")
+                    if checkpoint is not None:
+                        checkpoint.store(workload.name, mode, result)
+                else:
+                    metrics.inc("cells_resumed")
+                    if progress:
+                        progress(f"  {workload.name}/{mode}: resumed from "
+                                 f"checkpoint")
+                bench.results[mode] = result
+            suite.benchmarks[workload.name] = bench
+            if progress:
+                base = bench.baseline
+                progress(
+                    f"  {workload.name}: baseline {base.cycles} cycles "
+                    f"(IPC {base.ipc:.2f}), hidisc speedup "
+                    f"{bench.speedup('hidisc'):.3f}"
+                    if "hidisc" in bench.results
+                    else f"  {workload.name}: done"
+                )
         suite.elapsed_seconds = time.perf_counter() - start
         return suite
-    for workload in workloads:
-        if progress:
-            progress(f"preparing {workload.name} ...")
-        compiled = prepare_cached(workload, config, cache)
-        if progress:
-            progress(
-                f"  compiled in {compiled.prepare_seconds:.1f}s "
-                f"({compiled.work} dynamic instructions); simulating ..."
-            )
-        bench = BenchmarkResults(compiled=compiled)
-        for mode in modes:
-            result = (
-                checkpoint.load(workload.name, mode)
-                if resume and checkpoint is not None else None
-            )
-            if result is None:
-                result = run_model(compiled, config, mode,
-                                   telemetry=telemetry, verify=verify)
-                if checkpoint is not None:
-                    checkpoint.store(workload.name, mode, result)
-            elif progress:
-                progress(f"  {workload.name}/{mode}: resumed from "
-                         f"checkpoint")
-            bench.results[mode] = result
-        suite.benchmarks[workload.name] = bench
-        if progress:
-            base = bench.baseline
-            progress(
-                f"  {workload.name}: baseline {base.cycles} cycles "
-                f"(IPC {base.ipc:.2f}), hidisc speedup "
-                f"{bench.speedup('hidisc'):.3f}"
-                if "hidisc" in bench.results else f"  {workload.name}: done"
-            )
-    suite.elapsed_seconds = time.perf_counter() - start
-    return suite
 
 
 def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
@@ -225,6 +231,8 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
             result = checkpoint.load(cw.name, mode)
             if result is not None:
                 cells[index] = result
+        if cells:
+            metrics.inc("cells_resumed", len(cells))
         if progress and cells:
             progress(f"  resumed {len(cells)}/{len(grid)} cells from "
                      f"checkpoint")
@@ -243,6 +251,7 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
         def on_result(task_index: int, result) -> None:
             grid_index = missing[task_index]
             cells[grid_index] = result
+            metrics.inc("cells_completed")
             if checkpoint is not None:
                 cw, mode = grid[grid_index]
                 checkpoint.store(cw.name, mode, result)

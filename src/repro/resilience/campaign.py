@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ReproError
 from ..sim.functional import DecoupledFunctionalSimulator
+from ..telemetry import metrics, spans
 from .faults import FaultInjector, FaultPlan
 from .oracle import verified_run
 
@@ -86,6 +87,18 @@ def run_fault_campaign(cw, config, mode: str, plan: FaultPlan,
                        max_cycles: int | None = None) -> CampaignOutcome:
     """Execute one faulted run of *cw* on *mode*; never returns silently
     wrong numbers — see the module docstring for the contract."""
+    with spans.span("fault_campaign_cell", cat="faults", benchmark=cw.name,
+                    mode=mode, seed=plan.seed) as sp:
+        outcome = _run_fault_campaign(cw, config, mode, plan, max_cycles)
+        sp.set(outcome=outcome.outcome)
+        metrics.inc("campaign_cells")
+        if outcome.outcome == "raised":
+            metrics.inc("campaign_raised")
+        return outcome
+
+
+def _run_fault_campaign(cw, config, mode: str, plan: FaultPlan,
+                        max_cycles: int | None) -> CampaignOutcome:
     outcome = CampaignOutcome(benchmark=cw.name, mode=mode,
                               plan_seed=plan.seed)
 

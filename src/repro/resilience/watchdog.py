@@ -28,6 +28,7 @@ the stuck transfer without re-running the simulation.
 from __future__ import annotations
 
 from ..errors import DeadlockError
+from ..telemetry import spans
 from ..telemetry.sampler import take_sample
 
 
@@ -153,4 +154,7 @@ class ProgressWatchdog:
         """Build (not raise) the forensic :class:`DeadlockError`."""
         dump = forensic_dump(machine, now)
         dump["reason"] = reason
+        spans.instant("deadlock", cat="watchdog",
+                      benchmark=machine.benchmark, mode=machine.mode,
+                      cycle=now, reason=reason)
         return DeadlockError(_render(dump, reason), dump=dump)

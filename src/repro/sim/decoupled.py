@@ -332,6 +332,16 @@ class Machine:
     # The simulation loop.
     # ------------------------------------------------------------------
     def run(self, max_cycles: int | None = None) -> RunResult:
+        try:
+            return self._run_loop(max_cycles)
+        finally:
+            # Terminate any in-progress heartbeat status line, on normal
+            # completion and on exceptions alike, so results/tracebacks
+            # never splice into a stale "\r" line.
+            if self._heartbeat is not None:
+                self._heartbeat.finish()
+
+    def _run_loop(self, max_cycles: int | None) -> RunResult:
         if max_cycles is None:
             max_cycles = self.config.max_cycles
         now = 0

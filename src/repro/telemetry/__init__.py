@@ -17,7 +17,13 @@ attribution) lives in :mod:`repro.telemetry.lifecycle` /
 :mod:`repro.telemetry.konata`, differential run analysis in
 :mod:`repro.telemetry.diff`.  See :mod:`repro.telemetry.cpi` for the cycle
 taxonomy and :mod:`repro.telemetry.sinks` for the available sinks.
+
+Host-side *orchestration* observability (span tracing of the process-pool
+grid, the metrics registry feeding the run ledger) lives in
+:mod:`repro.telemetry.spans` and :mod:`repro.telemetry.metrics`.
 """
+
+from . import metrics, spans
 
 from .cpi import (
     CPI_COMPONENTS,
@@ -78,10 +84,12 @@ __all__ = [
     "konata_lines",
     "lifecycle_to_chrome",
     "load_payload",
+    "metrics",
     "new_stack",
     "render_cpi_stacks",
     "render_critical_path",
     "render_diff",
+    "spans",
     "stack_total",
     "take_sample",
     "write_konata",

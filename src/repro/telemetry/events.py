@@ -65,7 +65,10 @@ class Telemetry:
         return self.samplers[-1].samples if self.samplers else []
 
     def close(self) -> None:
-        """Flush the sink and lifecycle stream (writes traces to disk)."""
+        """Flush the sink and lifecycle stream (writes traces to disk),
+        and clear any in-progress heartbeat status line."""
+        if self.heartbeat is not None:
+            self.heartbeat.finish()
         self.sink.close()
         if self.lifecycle is not None:
             self.lifecycle.close()

@@ -1,9 +1,16 @@
 """Live progress heartbeat for long simulations.
 
-An opt-in one-line-per-interval status stream: simulated cycle, running
-IPC, LDQ/SDQ/SAQ occupancy, and host throughput (simulated cycles per
-wall-clock second).  Piggybacks on the run loop's existing sampler check
-— when disabled (the default) the loop pays nothing new.
+An opt-in status stream: simulated cycle, running IPC, LDQ/SDQ/SAQ
+occupancy, and host throughput (simulated cycles per wall-clock second).
+Piggybacks on the run loop's existing sampler check — when disabled (the
+default) the loop pays nothing new.
+
+On a TTY the heartbeat renders as a single in-place status line
+(``\\r``-rewritten every beat); on anything else (pipes, files, test
+streams) it falls back to one line per beat.  Either way the run loop and
+:meth:`repro.telemetry.Telemetry.close` call :meth:`Heartbeat.finish` on
+completion *and* on exceptions, which clears any in-progress status line
+so subsequent output (results, tracebacks) never splices into it.
 """
 
 from __future__ import annotations
@@ -19,15 +26,25 @@ class Heartbeat:
     corrupt ``--json`` output on stdout).  Follows the Sampler's
     ``next_at`` contract: the run loop checks ``now >= next_at`` and calls
     :meth:`emit`, which does the measuring and schedules the next beat.
+
+    *live* selects the in-place single-line rendering; ``None`` (default)
+    auto-detects it from ``stream.isatty()``.
     """
 
-    def __init__(self, interval: int, stream=None) -> None:
+    def __init__(self, interval: int, stream=None,
+                 live: bool | None = None) -> None:
         if interval < 1:
             raise ValueError("heartbeat interval must be >= 1 cycle")
         self.interval = interval
         self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", None)
+            live = bool(isatty and isatty())
+        self.live = live
         self.next_at = interval
         self.emitted = 0
+        #: width of the currently-open ``\r`` status line (0 = none open).
+        self._open_width = 0
         self._last_cycle = 0
         self._last_time = time.perf_counter()
 
@@ -39,13 +56,35 @@ class Heartbeat:
         committed = sum(core.stats.committed for core in machine.cores)
         ipc = committed / now if now else 0.0
         occ = machine.queue_occupancy
-        self.stream.write(
+        text = (
             f"[hb] cycle={now} ipc={ipc:.3f} "
             f"ldq={occ['LDQ']} sdq={occ['SDQ']} saq={occ['SAQ']} "
-            f"host_cps={cps:,.0f}\n"
+            f"host_cps={cps:,.0f}"
         )
+        if self.live:
+            # Rewrite the single status line in place, padding over any
+            # longer previous rendering.
+            pad = max(self._open_width - len(text), 0)
+            self.stream.write("\r" + text + " " * pad)
+            self._open_width = len(text)
+        else:
+            self.stream.write(text + "\n")
         self.stream.flush()
         self.emitted += 1
         self._last_cycle = now
         self._last_time = host_now
         self.next_at = now + self.interval
+
+    def finish(self) -> None:
+        """Clear/terminate an in-progress status line (idempotent).
+
+        Called by the run loop on completion and on exceptions, and by
+        ``Telemetry.close()`` — after it, the cursor sits at column 0 on a
+        blank line, so whatever prints next cannot splice into a stale
+        heartbeat.
+        """
+        if not self._open_width:
+            return
+        self.stream.write("\r" + " " * self._open_width + "\r")
+        self.stream.flush()
+        self._open_width = 0

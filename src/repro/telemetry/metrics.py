@@ -1,0 +1,218 @@
+"""Host-side metrics registry: counters, gauges and histograms with labels.
+
+The orchestration layer (cache, pool, checkpoints, campaigns) counts what
+it does here — cache hit/miss traffic, pool retries and fallbacks,
+queue-to-pool latency, completed grid cells, peak RSS — and the run ledger
+(:mod:`repro.experiments.ledger`) persists a snapshot per run.
+
+Three instrument kinds, all label-aware:
+
+* **counter** — monotonically increasing; merged across workers by *sum*;
+* **gauge** — last-set value; merged by *max* (the only merge that is
+  order-independent and meaningful for "peak" style gauges);
+* **histogram** — count/sum/min/max plus decade (power-of-ten) bucket
+  counts, so merged distributions are deterministic regardless of worker
+  completion order.
+
+Worker processes never share a registry with the parent: the worker entry
+points (:mod:`repro.experiments.parallel`) push a fresh **scope** around
+each task, pop its snapshot, and ship it back inside the task result; the
+parent merges snapshots as results land.  Because every merge operation
+commutes, the merged totals are identical for any completion order — a
+parallel run reports exactly the counters of its serial twin.
+
+These are host-side instruments, incremented a handful of times per grid
+cell; the simulated machine's hot loop never touches this module.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+#: snapshot schema version (bump on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+
+def render_key(name: str, labels: dict | None = None) -> str:
+    """Canonical string form of a labelled series: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _bucket(value: float) -> str:
+    """Decade bucket label for a histogram observation."""
+    if value <= 0:
+        return "<=0"
+    exponent = math.floor(math.log10(value))
+    return f"1e{exponent}..1e{exponent + 1}"
+
+
+class MetricsRegistry:
+    """One process's (or one scope's) metric series."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        key = render_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.gauges[render_key(name, labels)] = value
+
+    def gauge_max(self, name: str, value: float, **labels) -> None:
+        """Set a gauge only if *value* exceeds the current one."""
+        key = render_key(name, labels)
+        if value > self.gauges.get(key, float("-inf")):
+            self.gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = render_key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = {
+                "count": 0, "sum": 0.0,
+                "min": float("inf"), "max": float("-inf"), "buckets": {},
+            }
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+        bucket = _bucket(value)
+        hist["buckets"][bucket] = hist["buckets"].get(bucket, 0) + 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready, deterministically ordered dump of every series."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                key: {
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "min": h["min"],
+                    "max": h["max"],
+                    "buckets": {b: h["buckets"][b]
+                                for b in sorted(h["buckets"])},
+                }
+                for key, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters sum, gauges take the max, histograms combine — every
+        operation commutes, so merge order cannot change the totals.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        for key, value in snapshot.get("gauges", {}).items():
+            if value > self.gauges.get(key, float("-inf")):
+                self.gauges[key] = value
+        for key, other in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = {
+                    "count": 0, "sum": 0.0,
+                    "min": float("inf"), "max": float("-inf"), "buckets": {},
+                }
+            hist["count"] += other["count"]
+            hist["sum"] += other["sum"]
+            hist["min"] = min(hist["min"], other["min"])
+            hist["max"] = max(hist["max"], other["max"])
+            for bucket, count in other.get("buckets", {}).items():
+                hist["buckets"][bucket] = \
+                    hist["buckets"].get(bucket, 0) + count
+
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Module-level scope stack.  The base registry belongs to the process;
+# worker entry points push a scope per task so only that task's deltas
+# travel back to the parent.
+
+_STACK: list[MetricsRegistry] = [MetricsRegistry()]
+
+
+def registry() -> MetricsRegistry:
+    """The active registry (innermost scope)."""
+    return _STACK[-1]
+
+
+def inc(name: str, value: float = 1, **labels) -> None:
+    _STACK[-1].inc(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    _STACK[-1].gauge(name, value, **labels)
+
+
+def gauge_max(name: str, value: float, **labels) -> None:
+    _STACK[-1].gauge_max(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    _STACK[-1].observe(name, value, **labels)
+
+
+def snapshot() -> dict:
+    return _STACK[-1].snapshot()
+
+
+def merge(snap: dict) -> None:
+    _STACK[-1].merge(snap)
+
+
+def push_scope() -> MetricsRegistry:
+    """Install a fresh registry capturing everything until the matching
+    :func:`pop_scope` (used once per worker task)."""
+    scope = MetricsRegistry()
+    _STACK.append(scope)
+    return scope
+
+
+def pop_scope(scope: MetricsRegistry) -> dict:
+    """Remove *scope* and return its snapshot (tolerant of imbalance)."""
+    if scope in _STACK and len(_STACK) > 1:
+        _STACK.remove(scope)
+    return scope.snapshot()
+
+
+def reset() -> None:
+    """Drop every scope and series (one fresh base registry)."""
+    _STACK[:] = [MetricsRegistry()]
+
+
+# ----------------------------------------------------------------------
+
+def record_peak_rss() -> float | None:
+    """Record this process's peak RSS as a ``peak_rss_bytes`` gauge.
+
+    Best-effort: returns the value in bytes, or ``None`` where the
+    ``resource`` module is unavailable (non-POSIX platforms).
+    """
+    try:
+        import resource
+    except ImportError:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    peak_bytes = float(peak if sys.platform == "darwin" else peak * 1024)
+    gauge_max("peak_rss_bytes", peak_bytes)
+    return peak_bytes

@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for cmd in ("table1", "table2", "figure8", "figure9", "figure10",
                     "all", "suite", "stats", "trace", "lifecycle", "diff",
-                    "cache"):
+                    "cache", "runs"):
             assert parser.parse_args([cmd]).command == cmd
 
     def test_unknown_command_rejected(self):
@@ -93,6 +93,34 @@ class TestParser:
         for argv in (["diff"], ["diff", "a.json"]):
             with pytest.raises(SystemExit):
                 main(argv)
+
+    def test_runs_subcommands(self):
+        for action in ("list", "show", "report"):
+            args = build_parser().parse_args(["runs", action])
+            assert args.command == "runs" and args.cache_action == action
+        # show/report take an optional run-id prefix (the diff_b slot)
+        args = build_parser().parse_args(["runs", "show", "18c2f"])
+        assert args.cache_action == "show" and args.diff_b == "18c2f"
+        assert build_parser().parse_args(["runs"]).cache_action is None
+
+    def test_runs_action_validated_in_main(self):
+        with pytest.raises(SystemExit):
+            main(["runs", "frobnicate"])
+        with pytest.raises(SystemExit):
+            main(["runs", "list", "someid"])
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--orch-trace", "orch.json"])
+        assert args.orch_trace == "orch.json"
+        args = build_parser().parse_args(["runs", "list", "--limit", "5"])
+        assert args.limit == 5
+        defaults = build_parser().parse_args(["suite"])
+        assert defaults.orch_trace is None and defaults.limit == 20
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs", "list", "--limit", "0"])
 
 
 class TestExecution:

@@ -14,12 +14,14 @@ all four machine models:
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import json
 
 import pytest
 
 from repro.config import MachineConfig
+from repro.errors import CycleLimitError
 from repro.sim import Machine, generate_trace
 from repro.telemetry import (
     LIFECYCLE_COMPONENTS,
@@ -303,3 +305,57 @@ class TestHeartbeat:
     def test_bad_interval_rejected(self):
         with pytest.raises(ValueError):
             Heartbeat(0)
+
+    def test_live_autodetect_is_off_for_test_streams(self):
+        assert Heartbeat(5, stream=io.StringIO()).live is False
+
+    def test_live_mode_rewrites_in_place_and_clears_on_finish(self, config):
+        program = build_load_compute_store(64)
+        trace, _ = generate_trace(program)
+        stream = io.StringIO()
+        hb = Heartbeat(interval=50, stream=stream, live=True)
+        tel = Telemetry(cpi=False, heartbeat=hb)
+        Machine(config, program.copy(), trace, mode="superscalar",
+                telemetry=tel).run()
+        text = stream.getvalue()
+        assert hb.emitted > 0
+        assert "\n" not in text, "live mode stays on one line"
+        assert text.count("\r") >= hb.emitted
+        # the run loop called finish(): the line is wiped and closed
+        assert hb._open_width == 0
+        assert text.endswith("\r")
+        tail = text.rsplit("\r", 2)[-2]
+        assert tail.strip() == "", "finish() blanks the status line"
+
+    def test_live_line_cleared_on_exception(self, config):
+        program = build_load_compute_store(64)
+        trace, _ = generate_trace(program)
+        limited = dataclasses.replace(config, max_cycles=60)
+        stream = io.StringIO()
+        hb = Heartbeat(interval=10, stream=stream, live=True)
+        tel = Telemetry(cpi=False, heartbeat=hb)
+        with pytest.raises(CycleLimitError):
+            Machine(limited, program.copy(), trace, mode="superscalar",
+                    telemetry=tel).run()
+        assert hb.emitted > 0
+        assert hb._open_width == 0, \
+            "an aborted run must not leave a torn \\r line"
+        assert stream.getvalue().endswith("\r")
+
+    def test_finish_is_idempotent_and_noop_when_closed(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval=5, stream=stream, live=True)
+        hb.finish()
+        assert stream.getvalue() == ""
+        hb._open_width = 4
+        hb.finish()
+        hb.finish()
+        assert stream.getvalue() == "\r    \r"
+
+    def test_telemetry_close_finishes_heartbeat(self):
+        stream = io.StringIO()
+        hb = Heartbeat(interval=5, stream=stream, live=True)
+        hb._open_width = 3
+        Telemetry(cpi=False, heartbeat=hb).close()
+        assert hb._open_width == 0
+        assert stream.getvalue() == "\r   \r"
