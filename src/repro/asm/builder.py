@@ -132,12 +132,27 @@ class ProgramBuilder:
         self._text.append(instr)
         return instr
 
+    def _where(self, index: int | None = None) -> str:
+        """Source context for error messages: instruction index plus the
+        nearest preceding text label (the builder's analogue of a line
+        number), so a failure points at the offending builder call."""
+        if index is None:
+            index = len(self._text)
+        label, at = None, -1
+        for name, pos in self._text_symbols.items():
+            if pos <= index and pos > at:
+                label, at = name, pos
+        where = f"instruction {index}"
+        if label is not None:
+            where += f" ({label!r}+{index - at})"
+        return f"{self.name}: {where}"
+
     def _emit(self, op: Op, rd: int = 0, rs1: int = 0, rs2: int = 0,
               imm: int = 0, label: str | None = None) -> Instruction:
         if not (_IMM_MIN <= imm <= _IMM_MAX):
             raise AssemblyError(
-                f"{op.mnemonic}: immediate {imm} does not fit in 29 bits "
-                f"(use li64 for large constants)"
+                f"{self._where()}: {op.mnemonic}: immediate {imm} does not "
+                f"fit in 29 bits (use li64 for large constants)"
             )
         instr = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
         if label is not None:
@@ -226,7 +241,10 @@ class ProgramBuilder:
         if _IMM_MIN <= value <= _IMM_MAX:
             return self.li(rd, value)
         if not (-(1 << 63) <= value < (1 << 64)):
-            raise AssemblyError(f"li64: constant {value} does not fit in 64 bits")
+            raise AssemblyError(
+                f"{self._where()}: li64: constant {value} does not fit in "
+                f"64 bits"
+            )
         bits = value & ((1 << 64) - 1)
         # Build 16 bits at a time, top chunk sign-extended by the shifts.
         top = bits >> 48
@@ -377,7 +395,16 @@ class ProgramBuilder:
             elif label in self._data_symbols:
                 value = self._data_symbols[label]
             else:
-                raise AssemblyError(f"undefined label {label!r}")
+                raise AssemblyError(
+                    f"{self._where(index)}: {instr.op.mnemonic}: undefined "
+                    f"label {label!r}"
+                )
+            if not (_IMM_MIN <= value <= _IMM_MAX):
+                raise AssemblyError(
+                    f"{self._where(index)}: {instr.op.mnemonic}: label "
+                    f"{label!r} resolves to {value}, which does not fit in "
+                    f"29 bits"
+                )
             if instr.op.info.fmt in (Format.BRANCH, Format.BRANCH1, Format.JUMP):
                 instr.target = value
             else:

@@ -82,7 +82,7 @@ from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
              "suite", "stats", "trace", "lifecycle", "diff", "cache",
-             "faults", "bench", "runs")
+             "faults", "bench", "runs", "fuzz")
 
 _CACHE_ACTIONS = ("stats", "clear")
 
@@ -92,7 +92,7 @@ _RUNS_ACTIONS = ("list", "show", "report")
 #: bookkeeping commands that merely inspect caches/ledgers/payloads).
 _LEDGER_COMMANDS = frozenset(
     {"table2", "figure8", "figure9", "figure10", "all", "suite",
-     "stats", "trace", "lifecycle", "faults"}
+     "stats", "trace", "lifecycle", "faults", "fuzz"}
 )
 
 #: lifecycle output defaults per format (when --out is not given).
@@ -213,6 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
     profiling.add_argument("--top", type=_positive, default=12, metavar="N",
                            help="rows in the critical-path table "
                                 "(default 12)")
+    fuzzing = parser.add_argument_group(
+        "fuzz options", "differential program fuzzing (repro.fuzz)")
+    fuzzing.add_argument("--runs", type=_positive, default=50, metavar="N",
+                         help="number of seeded random programs to draw "
+                              "(default 50); --seed selects the first")
+    fuzzing.add_argument("--fuzz-size", type=_positive, default=24,
+                         metavar="N",
+                         help="approximate top-level statements per "
+                              "generated program (default 24)")
+    fuzzing.add_argument("--shrink", action="store_true",
+                         help="delta-debug each failing program to a "
+                              "minimal repro before reporting it")
+    fuzzing.add_argument("--corpus", metavar="DIR", default=None,
+                         help="write each (shrunk) failing program as a "
+                              "replayable JSON repro into this directory")
+    fuzzing.add_argument("--inject-fault", metavar="NAME", default=None,
+                         help="self-test: deliberately perturb one "
+                              "fast-path dispatch entry (see repro.fuzz."
+                              "harness.FAULTS); the campaign must then "
+                              "FIND divergences — exit 0 iff it does")
     bench = parser.add_argument_group(
         "bench options", "simulator performance snapshots "
                          "(benchmarks/record.py)")
@@ -336,6 +356,51 @@ def _run_faults(args, config: MachineConfig, progress,
           f"under the oracle, {raised} raised typed errors — "
           f"{'all graceful' if graceful else 'GRACEFUL-DEGRADATION FAILURE'}")
     return 0 if graceful else 1
+
+
+def _run_fuzz(args, config: MachineConfig, progress, payload: dict) -> int:
+    """The 'fuzz' command: a differential fuzzing campaign.
+
+    Exit code semantics flip with --inject-fault: a clean toolchain run
+    passes when *zero* divergences are found, while a deliberately
+    perturbed run passes when the harness *does* find them (the
+    detection self-test).
+    """
+    from ..fuzz import FAULTS, run_fuzz_campaign
+
+    if args.inject_fault is not None and args.inject_fault not in FAULTS:
+        raise SystemExit(
+            f"hidisc fuzz: unknown fault {args.inject_fault!r} "
+            f"(have: {', '.join(sorted(FAULTS))})"
+        )
+    report = run_fuzz_campaign(
+        seed=args.seed, runs=args.runs, config=config, size=args.fuzz_size,
+        shrink=args.shrink, corpus_dir=args.corpus,
+        fault=args.inject_fault, progress=progress,
+    )
+    payload["fuzz"] = report
+    found = report["divergences"]
+    for entry in found:
+        stmts = (f"{entry['statements_original']} -> {entry['statements']}"
+                 if entry["statements"] != entry["statements_original"]
+                 else str(entry["statements"]))
+        print(f"[{entry['kind']}] seed={entry['seed']} "
+              f"({stmts} statements): {entry['detail']}")
+        if entry.get("first_divergent"):
+            print(f"  first divergent commit: {entry['first_divergent']}")
+    mode = (f"fault {args.inject_fault!r} injected"
+            if args.inject_fault else "clean toolchain")
+    print(f"\nfuzz campaign ({mode}): {report['runs']} programs, "
+          f"{len(found)} divergence(s) in "
+          f"{report['elapsed_seconds']:.1f}s"
+          + (f"; {len(report['corpus'])} repro(s) in {args.corpus}"
+             if args.corpus else ""))
+    if args.inject_fault is not None:
+        ok = bool(found)
+        print("detection self-test " + ("PASSED" if ok else
+                                        "FAILED: fault went unnoticed"))
+        return 0 if ok else 1
+    return 0 if not found else 1
 
 
 def _run_lifecycle(args, config: MachineConfig, progress,
@@ -647,6 +712,13 @@ def _dispatch(args, config: MachineConfig, progress,
 
     if args.command == "faults":
         code = _run_faults(args, config, progress, cache, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command == "fuzz":
+        code = _run_fuzz(args, config, progress, payload)
         if args.json:
             path = write_json(args.json, payload)
             print(f"\nraw results written to {path}", file=sys.stderr)

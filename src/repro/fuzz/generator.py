@@ -1,0 +1,294 @@
+"""Seeded random-program generation over the ProgramBuilder DSL.
+
+A generated program is a JSON-serializable **statement IR** plus seeded
+initial data; :meth:`FuzzProgram.to_program` renders it to assembly
+deterministically.  The IR — not the assembly — is the unit the shrinker
+edits, so every invariant below is *per statement*: removing any subset
+of statements leaves a program that still satisfies all of them.
+
+Invariants (what makes a random program a *valid differential input*):
+
+* **Termination.**  The only backward branches are counted loops with a
+  reserved countdown register per nesting depth; everything else is
+  straight-line or a forward branch diamond.
+* **Defined semantics.**  Integer divides are guarded (``ori tmp, rs2,
+  1`` makes the divisor odd, hence non-zero); FP divides add 1.0 to the
+  divisor's absolute value; every FP arithmetic result is clamped to
+  ±1e12 so Inf/NaN never appear and ``ftoi`` always fits 64 bits.
+* **AP-executability.**  Integer registers are statically partitioned
+  into a *clean* pool and an *FP-taintable* pool.  ``ftoi`` and FP
+  compares may only write taintable registers; a statement reading a
+  taintable register may only write taintable registers; branch
+  operands and memory indices come from the clean pool.  Taint can
+  therefore never reach control flow or address computation, so no FP
+  instruction is ever pulled into the Access Stream by the slicer's
+  backward slices.  (Memory-mediated flow is fine: the stored *value*
+  may be FP-derived, but loads are integer instructions.)
+* **Memory safety.**  Array indices are masked to the power-of-two
+  array length before scaling.
+* **Observability.**  The epilogue stores every pool register to output
+  arrays, so any wrong value is visible to memory diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..asm.builder import ProgramBuilder
+from ..asm.program import Program
+
+# Static register partition (names, not ids — rendered via the builder).
+CLEAN_REGS = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7")
+TAINT_REGS = ("v0", "v1", "a2", "a3")   # may hold FP-derived ints
+FP_REGS = ("f1", "f2", "f3", "f4", "f5", "f6")
+# Reserved (never in any pool): t8/t9 macro scratch, k0/k1 array bases,
+# s0/s1 loop counters, a0 epilogue base, f0=1.0, f7 FP scratch,
+# f8/f9 = ±CLAMP.
+LOOP_COUNTERS = ("s0", "s1")
+ARRAY_BASES = ("k0", "k1")
+ARRAY_LEN = 64          # power of two; indices are masked with LEN-1
+CLAMP = 10 ** 12        # FP magnitude bound (keeps ftoi defined)
+MAX_DEPTH = len(LOOP_COUNTERS)
+
+_ALU_RR = ("add", "sub", "mul", "and_", "or_", "xor", "nor",
+           "sll", "srl", "sra", "slt", "sltu")
+_ALU_RI = ("addi", "muli", "andi", "ori", "xori", "slti")
+_SHIFT_RI = ("slli", "srli", "srai")
+_FP_RR = ("fadd", "fsub", "fmul", "fmin", "fmax")
+_FCMP = ("feq", "flt", "fle")
+_BRANCH_CC = ("beq", "bne", "blt", "bge")
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program: statement IR + seeded data, JSON-round-trippable."""
+
+    seed: int
+    statements: list = field(default_factory=list)
+    init_int: dict = field(default_factory=dict)    # reg name -> int64
+    init_fp: dict = field(default_factory=dict)     # reg name -> small int
+    arrays: dict = field(default_factory=dict)      # label -> list[int64]
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "statements": self.statements,
+            "init_int": self.init_int,
+            "init_fp": self.init_fp,
+            "arrays": self.arrays,
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzProgram":
+        raw = json.loads(text)
+        return cls(seed=raw["seed"], statements=raw["statements"],
+                   init_int=dict(raw["init_int"]),
+                   init_fp=dict(raw["init_fp"]),
+                   arrays={k: list(v) for k, v in raw["arrays"].items()})
+
+    def statement_count(self) -> int:
+        def count(stmts) -> int:
+            total = 0
+            for s in stmts:
+                total += 1
+                for key in ("body", "then", "else"):
+                    if key in s:
+                        total += count(s[key])
+            return total
+        return count(self.statements)
+
+    # ------------------------------------------------------------------
+    def to_program(self) -> Program:
+        b = ProgramBuilder(f"fuzz_{self.seed}")
+        for label, values in sorted(self.arrays.items()):
+            b.data_i64(label, values)
+        pools = list(CLEAN_REGS) + list(TAINT_REGS)
+        b.data_space("out_int", len(pools) * 8)
+        b.data_space("out_fp", len(FP_REGS) * 8)
+
+        # -- prologue: bases, constants, pool initial values ------------
+        for base, label in zip(ARRAY_BASES, sorted(self.arrays)):
+            b.la(base, label)
+        b.li("t8", 1)
+        b.itof("f0", "t8")                       # f0 = 1.0
+        b.li64("t8", CLAMP)
+        b.itof("f8", "t8")                       # f8 = +CLAMP
+        b.fneg("f9", "f8")                       # f9 = -CLAMP
+        for reg in pools:
+            b.li64(reg, self.init_int.get(reg, 0))
+        for reg in FP_REGS:
+            b.li64("t8", self.init_fp.get(reg, 0))
+            b.itof(reg, "t8")
+
+        # -- body -------------------------------------------------------
+        labels = iter(range(1 << 30))
+        self._render(b, self.statements, labels)
+
+        # -- epilogue: make every pool register observable --------------
+        b.la("a0", "out_int")
+        for i, reg in enumerate(pools):
+            b.sd(reg, i * 8, "a0")
+        b.la("a0", "out_fp")
+        for i, reg in enumerate(FP_REGS):
+            b.fsd(reg, i * 8, "a0")
+        b.halt()
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def _render(self, b: ProgramBuilder, stmts, labels) -> None:
+        for s in stmts:
+            kind = s["kind"]
+            if kind == "alu_rr":
+                getattr(b, s["op"])(s["rd"], s["rs1"], s["rs2"])
+            elif kind == "alu_ri":
+                getattr(b, s["op"])(s["rd"], s["rs1"], s["imm"])
+            elif kind == "div":
+                b.ori("t9", s["rs2"], 1)         # odd => non-zero divisor
+                getattr(b, s["op"])(s["rd"], s["rs1"], "t9")
+            elif kind == "load":
+                b.andi("t9", s["rs_idx"], ARRAY_LEN - 1)
+                b.slli("t9", "t9", 3)
+                b.add("t9", "t9", s["base"])
+                b.ld(s["rd"], 0, "t9")
+            elif kind == "store":
+                b.andi("t9", s["rs_idx"], ARRAY_LEN - 1)
+                b.slli("t9", "t9", 3)
+                b.add("t9", "t9", s["base"])
+                b.sd(s["rs_data"], 0, "t9")
+            elif kind == "fpu_rr":
+                getattr(b, s["op"])("f7", s["rs1"], s["rs2"])
+                b.fmin("f7", "f7", "f8")         # clamp: no Inf/NaN ever
+                b.fmax(s["rd"], "f7", "f9")
+            elif kind == "fdiv":
+                b.fabs_("f7", s["rs2"])
+                b.fadd("f7", "f7", "f0")         # divisor >= 1.0
+                b.fdiv("f7", s["rs1"], "f7")
+                b.fmin("f7", "f7", "f8")
+                b.fmax(s["rd"], "f7", "f9")
+            elif kind == "fcmp":
+                getattr(b, s["op"])(s["rd"], s["rs1"], s["rs2"])
+            elif kind == "itof":
+                b.itof(s["rd"], s["rs1"])
+            elif kind == "ftoi":
+                b.ftoi(s["rd"], s["rs1"])        # operand already clamped
+            elif kind == "loop":
+                counter = LOOP_COUNTERS[s["depth"]]
+                top = f"L{next(labels)}_top"
+                b.li(counter, s["trips"])
+                b.label(top)
+                self._render(b, s["body"], labels)
+                b.addi(counter, counter, -1)
+                b.bnez(counter, top)
+            elif kind == "diamond":
+                then_l = f"L{next(labels)}_then"
+                end_l = f"L{next(labels)}_end"
+                getattr(b, s["cmp"])(s["rs1"], s["rs2"], then_l)
+                self._render(b, s["else"], labels)
+                b.j(end_l)
+                b.label(then_l)
+                self._render(b, s["then"], labels)
+                b.label(end_l)
+            else:  # pragma: no cover - guarded by the generator
+                raise ValueError(f"unknown statement kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+def _any_int(rng: random.Random):
+    """Boundary-heavy operand pool."""
+    pool = (0, 1, -1, 2, 63, 64, -(1 << 63), (1 << 63) - 1,
+            1 << 32, -(1 << 31))
+    if rng.random() < 0.6:
+        return rng.choice(pool)
+    return rng.getrandbits(64) - (1 << 63)
+
+
+def _gen_straight(rng: random.Random) -> dict:
+    """One straight-line statement honouring the taint partition."""
+    roll = rng.random()
+    if roll < 0.30:
+        # all-clean ALU (results usable as indices / branch operands)
+        return {"kind": "alu_rr", "op": rng.choice(_ALU_RR),
+                "rd": rng.choice(CLEAN_REGS),
+                "rs1": rng.choice(CLEAN_REGS),
+                "rs2": rng.choice(CLEAN_REGS)}
+    if roll < 0.42:
+        op = rng.choice(_ALU_RI + _SHIFT_RI)
+        imm = (rng.randrange(64) if op in _SHIFT_RI
+               else rng.randrange(-1000, 1001))
+        return {"kind": "alu_ri", "op": op,
+                "rd": rng.choice(CLEAN_REGS),
+                "rs1": rng.choice(CLEAN_REGS), "imm": imm}
+    if roll < 0.50:
+        return {"kind": "div", "op": rng.choice(("div", "rem")),
+                "rd": rng.choice(CLEAN_REGS),
+                "rs1": rng.choice(CLEAN_REGS),
+                "rs2": rng.choice(CLEAN_REGS)}
+    if roll < 0.62:
+        return {"kind": "load", "base": rng.choice(ARRAY_BASES),
+                "rd": rng.choice(CLEAN_REGS),
+                "rs_idx": rng.choice(CLEAN_REGS)}
+    if roll < 0.72:
+        # stored *data* may be tainted; the index must be clean
+        return {"kind": "store", "base": rng.choice(ARRAY_BASES),
+                "rs_data": rng.choice(CLEAN_REGS + TAINT_REGS),
+                "rs_idx": rng.choice(CLEAN_REGS)}
+    if roll < 0.80:
+        return {"kind": "fpu_rr", "op": rng.choice(_FP_RR),
+                "rd": rng.choice(FP_REGS),
+                "rs1": rng.choice(FP_REGS), "rs2": rng.choice(FP_REGS)}
+    if roll < 0.85:
+        return {"kind": "fdiv", "rd": rng.choice(FP_REGS),
+                "rs1": rng.choice(FP_REGS), "rs2": rng.choice(FP_REGS)}
+    if roll < 0.90:
+        # FP compare writes an int — taintable destinations only
+        return {"kind": "fcmp", "op": rng.choice(_FCMP),
+                "rd": rng.choice(TAINT_REGS),
+                "rs1": rng.choice(FP_REGS), "rs2": rng.choice(FP_REGS)}
+    if roll < 0.95:
+        return {"kind": "itof", "rd": rng.choice(FP_REGS),
+                "rs1": rng.choice(CLEAN_REGS + TAINT_REGS)}
+    return {"kind": "ftoi", "rd": rng.choice(TAINT_REGS),
+            "rs1": rng.choice(FP_REGS)}
+
+
+def _gen_block(rng: random.Random, count: int, depth: int) -> list:
+    """*count* statements, possibly containing loops/diamonds."""
+    out = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.08 and depth < MAX_DEPTH:
+            out.append({"kind": "loop", "depth": depth,
+                        "trips": rng.randrange(1, 7),
+                        "body": _gen_block(rng, rng.randrange(1, 5),
+                                           depth + 1)})
+        elif roll < 0.18:
+            out.append({"kind": "diamond", "cmp": rng.choice(_BRANCH_CC),
+                        "rs1": rng.choice(CLEAN_REGS),
+                        "rs2": rng.choice(CLEAN_REGS),
+                        "then": [_gen_straight(rng)
+                                 for _ in range(rng.randrange(1, 4))],
+                        "else": [_gen_straight(rng)
+                                 for _ in range(rng.randrange(0, 3))]})
+        else:
+            out.append(_gen_straight(rng))
+    return out
+
+
+def generate_program(seed: int, size: int = 24) -> FuzzProgram:
+    """Draw one random program: ~*size* top-level statements."""
+    rng = random.Random(seed)
+    arrays = {
+        "arr_a": [_any_int(rng) for _ in range(ARRAY_LEN)],
+        "arr_b": [_any_int(rng) for _ in range(ARRAY_LEN)],
+    }
+    init_int = {reg: _any_int(rng) for reg in CLEAN_REGS + TAINT_REGS}
+    init_fp = {reg: rng.randrange(-1000, 1001) for reg in FP_REGS}
+    statements = _gen_block(rng, size, depth=0)
+    return FuzzProgram(seed=seed, statements=statements,
+                       init_int=init_int, init_fp=init_fp, arrays=arrays)

@@ -1,0 +1,269 @@
+"""Differential execution harness: one program, every execution path.
+
+:func:`check_program` runs a generated program through
+
+1. the **fast vs legacy** functional interpreters (registers, memory,
+   dynamic trace must be bit-identical),
+2. the **sequential vs decoupled** functional models via the standard
+   :func:`repro.experiments.runner.prepare` pipeline plus
+   :func:`repro.resilience.verify_compiled` (separation soundness,
+   store order, queue drain),
+3. all four **timing models** under the co-simulation oracle
+   (``verify=True`` raises on any commit-stream or final-state
+   divergence),
+
+and reports the first divergence it finds as a :class:`Divergence`.
+Stage 1 failures are bisected to the first divergent committed
+instruction with :func:`repro.telemetry.diff.first_divergent_commit`
+(control/address divergence straight from the traces; pure value bugs
+via a binary search over ``max_steps`` snapshots).
+
+:func:`injected_fault` deliberately perturbs one fast-path dispatch
+entry — the self-test proving the harness actually detects bugs, and
+the CI fault-injection smoke.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..config import MachineConfig
+from ..errors import SimulationError, VerificationError, WorkloadError
+from ..experiments.models import MODEL_ORDER
+from ..experiments.runner import prepare, run_model
+from ..isa import Op
+from ..resilience import verify_compiled
+from ..telemetry.diff import first_divergent_commit
+from ..workloads.base import Workload
+
+
+class FuzzWorkload(Workload):
+    """Adapter: a generated program as a suite-shaped workload.
+
+    ``expected_outputs`` is empty — the fuzzer has no reference
+    implementation; correctness *is* the agreement of the execution
+    paths, checked by :func:`verify_compiled` and the oracle.
+    """
+
+    name = "fuzz"
+    label = "Fuzz"
+
+    def __init__(self, program, seed: int = 0):
+        super().__init__(seed=seed)
+        self._fuzz_program = program
+
+    def build(self):
+        return self._fuzz_program
+
+    def expected_outputs(self) -> dict:
+        return {}
+
+
+@dataclass
+class Divergence:
+    """One detected disagreement between execution paths."""
+
+    kind: str                    # e.g. "fast_vs_legacy", "oracle:hidisc"
+    detail: str
+    seed: int = 0
+    first_divergent: dict | None = None
+    problems: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail, "seed": self.seed,
+                "first_divergent": self.first_divergent,
+                "problems": list(self.problems)}
+
+    def summary(self) -> str:
+        text = f"[{self.kind}] seed={self.seed}: {self.detail}"
+        if self.first_divergent is not None:
+            text += f" (first divergent commit: {self.first_divergent})"
+        return text
+
+
+def _trace_rows(program, trace) -> list[dict]:
+    """Commit-stream-shaped rows for :func:`first_divergent_commit`."""
+    rows = []
+    for i, dyn in enumerate(trace):
+        op = program.text[dyn.pc].op.mnemonic if dyn.pc < len(
+            program.text) else "?"
+        rows.append({"gid": i, "commit": f"{dyn.pc}/{dyn.addr}/{dyn.next_pc}",
+                     "pc": dyn.pc, "asm": op})
+    return rows
+
+
+def _state_digest(state) -> tuple:
+    return (state.pc, state.halted, tuple(state.regs))
+
+
+def _run_to(program, steps: int, fast: bool):
+    """Architectural state after exactly *steps* instructions."""
+    from ..sim.functional import FunctionalSimulator
+
+    sim = FunctionalSimulator(program)
+    try:
+        sim.run(max_steps=steps, fast=fast)
+    except SimulationError:
+        pass
+    return sim.state
+
+
+def _bisect_value_divergence(program, total_steps: int) -> dict | None:
+    """Binary-search the first step after which fast and legacy register
+    files differ (used when the traces agree but final state does not)."""
+    lo, hi = 0, total_steps          # invariant: agree at lo, differ at hi
+    if _state_digest(_run_to(program, lo, True)) != _state_digest(
+            _run_to(program, lo, False)):
+        return {"index": 0, "a": {"gid": 0, "commit": "initial-state"},
+                "b": {"gid": 0, "commit": "initial-state"}}
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        same = (_state_digest(_run_to(program, mid, True))
+                == _state_digest(_run_to(program, mid, False)))
+        if same:
+            lo = mid
+        else:
+            hi = mid
+    fast_s = _run_to(program, hi, True)
+    slow_s = _run_to(program, hi, False)
+    bad = [i for i, (a, b) in enumerate(zip(fast_s.regs, slow_s.regs))
+           if a != b]
+    pc = _run_to(program, lo, True).pc       # pc of the divergent step
+    op = program.text[pc].op.mnemonic if pc < len(program.text) else "?"
+    return {"index": hi - 1,
+            "a": {"gid": hi - 1, "commit": f"regs{bad}={_fmt_regs(fast_s, bad)}",
+                  "pc": pc, "asm": op},
+            "b": {"gid": hi - 1, "commit": f"regs{bad}={_fmt_regs(slow_s, bad)}",
+                  "pc": pc, "asm": op}}
+
+
+def _fmt_regs(state, ids, limit: int = 4) -> str:
+    return ",".join(repr(state.regs[i]) for i in ids[:limit])
+
+
+def _check_functional(program, seed: int) -> Divergence | None:
+    """Stage 1: fast vs legacy interpreter on the same program."""
+    from ..sim.functional import FunctionalSimulator
+
+    results = []
+    for fast in (True, False):
+        trace: list = []
+        sim = FunctionalSimulator(program)
+        try:
+            state = sim.run(trace=trace, fast=fast)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            results.append(("raise", f"{type(exc).__name__}: {exc}", trace,
+                            sim))
+            continue
+        results.append(("ok", state, trace, sim))
+    (fk, fv, ftrace, fsim), (sk, sv, strace, ssim) = results
+    if fk == "raise" or sk == "raise":
+        fast_msg = fv if fk == "raise" else "completed"
+        slow_msg = sv if sk == "raise" else "completed"
+        if fk == sk and fv == sv:
+            return Divergence("crash", f"both interpreters raised: {fv}",
+                              seed=seed)
+        return Divergence(
+            "fast_vs_legacy",
+            f"exception mismatch: fast={fast_msg} legacy={slow_msg}",
+            seed=seed,
+            first_divergent=first_divergent_commit(
+                _trace_rows(program, ftrace), _trace_rows(program, strace)))
+    if ftrace != strace:
+        return Divergence(
+            "fast_vs_legacy", "dynamic traces diverge", seed=seed,
+            first_divergent=first_divergent_commit(
+                _trace_rows(program, ftrace), _trace_rows(program, strace)))
+    if fv.regs != sv.regs or not fv.memory.equal_contents(sv.memory):
+        bad = [i for i, (a, b) in enumerate(zip(fv.regs, sv.regs)) if a != b]
+        detail = (f"final registers differ at ids {bad[:6]}" if bad
+                  else "final memory differs")
+        return Divergence(
+            "fast_vs_legacy", detail, seed=seed,
+            first_divergent=_bisect_value_divergence(program, len(ftrace)))
+    if fsim.instructions_executed != ssim.instructions_executed:
+        return Divergence(
+            "fast_vs_legacy",
+            f"step counts differ: fast={fsim.instructions_executed} "
+            f"legacy={ssim.instructions_executed}", seed=seed)
+    return None
+
+
+def check_program(fuzz_prog, config: MachineConfig | None = None,
+                  models: tuple = MODEL_ORDER) -> Divergence | None:
+    """Run one generated program through every path; first divergence wins."""
+    config = config or MachineConfig()
+    seed = fuzz_prog.seed
+    program = fuzz_prog.to_program()
+
+    found = _check_functional(program, seed)
+    if found is not None:
+        return found
+
+    workload = FuzzWorkload(program, seed=seed)
+    try:
+        cw = prepare(workload, config, verify=True)
+    except (SimulationError, WorkloadError) as exc:
+        return Divergence("separation", f"{type(exc).__name__}: {exc}",
+                          seed=seed)
+    problems = verify_compiled(cw)
+    if problems:
+        return Divergence("cosim", "sequential vs decoupled functional "
+                          "state differs", seed=seed, problems=problems)
+
+    for mode in models:
+        try:
+            run_model(cw, config, mode, verify=True)
+        except VerificationError as exc:
+            return Divergence(f"oracle:{mode}", str(exc), seed=seed)
+        except SimulationError as exc:
+            return Divergence(f"crash:{mode}",
+                              f"{type(exc).__name__}: {exc}", seed=seed)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Deliberate fault injection (harness self-test / CI smoke)
+# ----------------------------------------------------------------------
+
+def _s64(v: int) -> int:
+    v &= (1 << 64) - 1
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _u64(v: int) -> int:
+    return v & ((1 << 64) - 1)
+
+
+#: name -> (dispatch-table op, wrong semantics).  Patching the fast
+#: path's shared dispatch dict perturbs *only* the dispatch-table
+#: interpreter, so any program exercising the op diverges from the
+#: legacy path — exactly what stage 1 must catch.
+FAULTS = {
+    "xor-as-or": (Op.XOR, lambda a, b: _s64(a | b)),
+    "add-off-by-one": (Op.ADD, lambda a, b: _s64(a + b + 1)),
+    "sra-as-srl": (Op.SRA, lambda a, b: _s64(_u64(a) >> (b & 63))),
+    "sub-swapped": (Op.SUB, lambda a, b: _s64(b - a)),
+}
+
+
+@contextmanager
+def injected_fault(name: str):
+    """Temporarily replace one fast-path ALU dispatch entry with a wrong
+    implementation.  Step closures bind the entry at compile time, so the
+    patch must wrap simulator *construction* (it does: ``check_program``
+    builds its simulators inside the caller's context)."""
+    from ..sim import functional
+
+    try:
+        op, wrong = FAULTS[name]
+    except KeyError:
+        raise KeyError(f"unknown fault {name!r}; have "
+                       f"{', '.join(sorted(FAULTS))}") from None
+    original = functional._ALU_RR[op]
+    functional._ALU_RR[op] = wrong
+    try:
+        yield
+    finally:
+        functional._ALU_RR[op] = original

@@ -1,0 +1,114 @@
+"""Delta-debugging shrinker: minimal statement lists that still diverge.
+
+Classic ddmin over the generator's statement IR, applied recursively:
+first the top-level statement list, then the bodies of any surviving
+loops/diamonds, then loop trip counts.  A candidate is *interesting*
+when the harness still reports a divergence of the same kind as the
+original failure — shrinking never trades one bug for a different one.
+
+Every generator invariant is per-statement (see
+:mod:`repro.fuzz.generator`), so any subset of statements is a valid
+program: removal can only delete definitions and uses together or leave
+a register at its seeded initial value, never create an out-of-range
+access or an undefined operation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..config import MachineConfig
+from .generator import FuzzProgram
+from .harness import check_program
+
+
+def _clone(fuzz_prog: FuzzProgram, statements) -> FuzzProgram:
+    return FuzzProgram(
+        seed=fuzz_prog.seed,
+        statements=json.loads(json.dumps(statements)),
+        init_int=dict(fuzz_prog.init_int),
+        init_fp=dict(fuzz_prog.init_fp),
+        arrays={k: list(v) for k, v in fuzz_prog.arrays.items()},
+    )
+
+
+def _ddmin(items: list, interesting, allow_empty: bool = False) -> list:
+    """Zeller's ddmin: smallest sublist (by chunk removal) still interesting."""
+    granularity = 2
+    while len(items) >= (1 if allow_empty else 2):
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if (candidate or allow_empty) and interesting(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # retry at the same position — indices shifted left
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(max(len(items), 2), granularity * 2)
+    return items
+
+
+def shrink_program(fuzz_prog: FuzzProgram,
+                   config: MachineConfig | None = None,
+                   target_kind: str | None = None,
+                   check=check_program) -> FuzzProgram:
+    """Reduce *fuzz_prog* to a minimal program with the same divergence.
+
+    Raises ``ValueError`` if the input does not diverge at all.
+    """
+    config = config or MachineConfig()
+    baseline = check(fuzz_prog, config)
+    if baseline is None:
+        raise ValueError("program does not diverge; nothing to shrink")
+    kind = target_kind or baseline.kind
+
+    def interesting(statements) -> bool:
+        found = check(_clone(fuzz_prog, statements), config)
+        return found is not None and found.kind == kind
+
+    statements = json.loads(json.dumps(fuzz_prog.statements))
+    statements = _ddmin(statements, interesting)
+
+    # -- recurse into surviving compound statements: the tests mutate
+    # the tree in place (interesting() deep-copies via _clone anyway)
+    # and keep each reduction that stays interesting.
+    stack = [statements]
+    while stack:
+        block = stack.pop()
+        for stmt in block:
+            compound_keys = [key for key in ("body", "then", "else")
+                             if key in stmt]
+            for key in compound_keys:
+                body = stmt[key]
+                if body:
+                    def test(candidate, stmt=stmt, key=key):
+                        saved = stmt[key]
+                        stmt[key] = candidate
+                        ok = interesting(statements)
+                        stmt[key] = saved
+                        return ok
+
+                    smaller = _ddmin(list(body), test, allow_empty=True)
+                    if len(smaller) < len(body):
+                        stmt[key] = smaller
+            if stmt.get("kind") == "loop" and stmt.get("trips", 1) > 1:
+                saved = stmt["trips"]
+                stmt["trips"] = 1
+                if not interesting(statements):
+                    stmt["trips"] = saved
+            for key in compound_keys:
+                if stmt[key]:
+                    stack.append(stmt[key])
+
+    result = _clone(fuzz_prog, statements)
+    final = check(result, config)
+    if final is None or final.kind != kind:  # pragma: no cover - safety net
+        return fuzz_prog
+    return result

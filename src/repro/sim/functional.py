@@ -328,11 +328,14 @@ def _execute_op(instr: Instruction, state: ArchState,
     elif op is Op.DIV or op is Op.REM:
         a, b = regs[instr.rs1], regs[instr.rs2]
         if b == 0:
-            raise SimulationError(f"division by zero at pc {pc}")
-        q = abs(a) // abs(b)
-        if (a < 0) != (b < 0):
-            q = -q
-        r = a - q * b
+            # RISC-V-defined division by zero: quotient all-ones (-1),
+            # remainder the dividend.  No trap.
+            q, r = -1, a
+        else:
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            r = a - q * b
         _wr(regs, instr.rd, to_signed64(q if op is Op.DIV else r))
     elif op is Op.AND:
         _wr(regs, instr.rd, to_signed64(regs[instr.rs1] & regs[instr.rs2]))
@@ -781,7 +784,9 @@ def _compile_step(pc: int, instr: Instruction, state: ArchState,
         def step():
             a, b = regs[rs1], regs[rs2]
             if b == 0:
-                raise SimulationError(f"division by zero at pc {pc}")
+                # RISC-V-defined: q = -1, r = dividend (matches _execute_op).
+                regs[rd] = _s64(a if want_rem else -1)
+                return -1, npc
             q = abs(a) // abs(b)
             if (a < 0) != (b < 0):
                 q = -q

@@ -10,10 +10,17 @@ Update             pointer chasing + RMW stores          best speedup (18.5%)
 Field              regular token scan                    decoupling > CMP
 Neighborhood       per-pixel CP/AP synchronisation       CP+AP *degrades*
 TC                 row-streaming min-plus closure        best miss cut (26.7%)
+HashJoin*          full-chain hash-index join            (reproduction extra)
+SpMV*              CSR gather mat-vec                    (reproduction extra)
 =================  ====================================  =====================
 
+(* not in the paper's DIS suite; added for coverage of join-style and
+gather-style access patterns.)
+
 Use :func:`all_workloads` / :func:`quick_workloads` for the paper-scale and
-test-scale suites, or :func:`get_workload` by name.
+test-scale suites, :func:`get_workload` by name, or
+:func:`workloads_from_spec` to build the suite from one
+family-independent :class:`~repro.workloads.spec.WorkloadSpec`.
 """
 
 from __future__ import annotations
@@ -21,13 +28,17 @@ from __future__ import annotations
 from .base import Workload, check_ap_executable
 from .dm import DmWorkload
 from .field import FieldWorkload
+from .hashjoin import HashJoinWorkload
 from .neighborhood import NeighborhoodWorkload
 from .pointer import PointerWorkload
 from .raytrace import RayTraceWorkload
+from .spec import WorkloadSpec, describe_spec
+from .spmv import SpmvWorkload
 from .transitive import TransitiveWorkload
 from .update import UpdateWorkload
 
-#: Paper presentation order (Figure 8, left to right).
+#: Paper presentation order (Figure 8, left to right), followed by the
+#: reproduction's extra data-intensive families.
 WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
     DmWorkload,
     RayTraceWorkload,
@@ -36,6 +47,8 @@ WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
     FieldWorkload,
     NeighborhoodWorkload,
     TransitiveWorkload,
+    HashJoinWorkload,
+    SpmvWorkload,
 )
 
 WORKLOADS_BY_NAME = {cls.name: cls for cls in WORKLOAD_CLASSES}
@@ -57,7 +70,17 @@ def quick_workloads(seed: int = 2003) -> list[Workload]:
         FieldWorkload(n=900, seed=seed),
         NeighborhoodWorkload(size=24, distance=2, seed=seed),
         TransitiveWorkload(n=26, kiters=2, seed=seed),
+        HashJoinWorkload(build=512, probes=90, buckets=128, seed=seed),
+        SpmvWorkload(rows=96, row_nnz=6, seed=seed),
     ]
+
+
+def workloads_from_spec(spec: WorkloadSpec,
+                        names: list[str] | None = None) -> list[Workload]:
+    """Instantiate the suite (or the *names* subset) from one spec."""
+    classes = WORKLOAD_CLASSES if names is None else tuple(
+        WORKLOADS_BY_NAME[name] for name in names)
+    return [cls.from_spec(spec) for cls in classes]
 
 
 def get_workload(name: str, quick: bool = False, seed: int = 2003) -> Workload:
@@ -76,16 +99,21 @@ def get_workload(name: str, quick: bool = False, seed: int = 2003) -> Workload:
 __all__ = [
     "DmWorkload",
     "FieldWorkload",
+    "HashJoinWorkload",
     "NeighborhoodWorkload",
     "PointerWorkload",
     "RayTraceWorkload",
+    "SpmvWorkload",
     "TransitiveWorkload",
     "UpdateWorkload",
     "WORKLOADS_BY_NAME",
     "WORKLOAD_CLASSES",
     "Workload",
+    "WorkloadSpec",
     "all_workloads",
     "check_ap_executable",
+    "describe_spec",
     "get_workload",
     "quick_workloads",
+    "workloads_from_spec",
 ]

@@ -48,6 +48,19 @@ class DmWorkload(Workload):
         take_hit = rng.random(queries) < hit_fraction
         self._queries = np.where(take_hit, hits, misses).astype(np.int64)
 
+    @classmethod
+    def spec_kwargs(cls, spec) -> dict:
+        n = spec.pick("size", 4096)
+        # keep roughly 4 records per bucket as the index scales
+        buckets = 1 << max(1, (n // 4).bit_length() - 1)
+        return {
+            "n": n,
+            "buckets": buckets,
+            "queries": spec.scaled(1800),
+            "hit_fraction": spec.pick("hot_fraction", 0.5),
+            "seed": spec.seed,
+        }
+
     # ------------------------------------------------------------------
     def build(self) -> Program:
         b = ProgramBuilder(self.name)

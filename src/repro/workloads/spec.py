@@ -1,0 +1,96 @@
+"""Parameterised workload generation: the :class:`WorkloadSpec` layer.
+
+The DIS benchmark families each expose their own constructor knobs
+(``n``/``buckets``/``hops``/...), which is right for hand-tuned suite
+runs but awkward for sweeps and fuzzing, where the interesting axes are
+*shared*: how big is the footprint, how strided are the accesses, how
+skewed is the reuse, how deep are the dependent chains, how wide are the
+values.  ``WorkloadSpec`` names those axes once; each family translates
+the spec into its own constructor parameters via ``spec_kwargs`` and
+ignores axes that do not apply to it (a stride means nothing to a
+pointer chase).
+
+Because every family still goes through its ordinary constructor, the
+content-addressed run cache, suite checkpoints and the ledger all key
+spec-built workloads correctly with no changes: the fingerprint hashes
+the instance's scalar attributes, which the constructor sets from the
+translated kwargs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Family-independent workload parameters.
+
+    Every field is optional: ``None`` (or the default) means "use the
+    family's own default for whatever this axis maps to".
+
+    ================  ====================================================
+    ``size``          primary element count (records, bytes, spheres,
+                      matrix rows ... whatever the family scales by)
+    ``stride``        access stride in elements, for families with a
+                      regular component (Field token scan step, SpMV
+                      column spread)
+    ``hot_fraction``  fraction of accesses landing in a cache-resident
+                      hot set (Pointer), or the hit rate of index probes
+                      (DM / HashJoin)
+    ``chase_depth``   dependent pointer-chase hops per sequence
+                      (Pointer / Update)
+    ``value_range``   inclusive ``(lo, hi)`` bounds for generated data
+                      values, for families that accumulate payloads
+    ``intensity``     work multiplier for the family's secondary axis
+                      (query/sequence/ray counts); 1.0 = family default
+    ================  ====================================================
+    """
+
+    size: int | None = None
+    stride: int | None = None
+    hot_fraction: float | None = None
+    chase_depth: int | None = None
+    value_range: tuple[int, int] | None = None
+    intensity: float = 1.0
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if self.size is not None and self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.stride is not None and self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.hot_fraction is not None and not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.chase_depth is not None and self.chase_depth <= 0:
+            raise ValueError("chase_depth must be positive")
+        if self.value_range is not None:
+            lo, hi = self.value_range
+            if lo > hi:
+                raise ValueError("value_range lo must not exceed hi")
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+
+    # ------------------------------------------------------------------
+    def pick(self, attr: str, default):
+        """The spec's value for *attr*, or *default* when unset."""
+        value = getattr(self, attr)
+        return default if value is None else value
+
+    def scaled(self, default: int, minimum: int = 1) -> int:
+        """*default* scaled by ``intensity`` (for secondary work axes)."""
+        return max(minimum, int(round(default * self.intensity)))
+
+
+def describe_spec(spec: WorkloadSpec) -> str:
+    """Compact one-line rendering of the set (non-default) axes."""
+    parts = []
+    for name in ("size", "stride", "hot_fraction", "chase_depth",
+                 "value_range"):
+        value = getattr(spec, name)
+        if value is not None:
+            parts.append(f"{name}={value}")
+    if spec.intensity != 1.0:
+        parts.append(f"intensity={spec.intensity}")
+    parts.append(f"seed={spec.seed}")
+    return " ".join(parts)

@@ -92,6 +92,39 @@ class TestImmediates:
         with pytest.raises(AssemblyError):
             b.li("t0", 1 << 28)
 
+    def test_out_of_range_names_instruction_and_label(self):
+        """Emit-time rejection carries the builder name, the instruction
+        index, and the nearest preceding label — enough to find the
+        offending builder call without a traceback dig."""
+        b = ProgramBuilder("edgecase")
+        b.nop()
+        b.label("body")
+        b.nop()
+        with pytest.raises(AssemblyError) as err:
+            b.addi("t0", "t0", 1 << 28)
+        msg = str(err.value)
+        assert "edgecase" in msg
+        assert "instruction 2" in msg
+        assert "'body'" in msg
+        assert "li64" in msg  # points at the remedy
+
+    def test_negative_out_of_range_rejected_at_emit(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblyError) as err:
+            b.li("t0", -(1 << 28) - 1)
+        assert "instruction 0" in str(err.value)
+
+    def test_undefined_label_error_names_site(self):
+        b = ProgramBuilder("jumpy")
+        b.label("start")
+        b.j("nowhere")
+        b.halt()
+        with pytest.raises(AssemblyError) as err:
+            b.build()
+        msg = str(err.value)
+        assert "'nowhere'" in msg and "jumpy" in msg
+        assert "instruction 0" in msg
+
     @pytest.mark.parametrize("value", [
         0, 1, -1, (1 << 28) - 1, 1 << 30, -(1 << 40), (1 << 63) - 1,
         -(1 << 63), 0x1234_5678_9ABC_DEF0,

@@ -61,6 +61,53 @@ class TestRoundtrip:
         assert _roundtrip(Instruction(op=Op.NOP)).ann.stream is Stream.NONE
 
 
+class TestFieldSpace:
+    """Systematic coverage of the packed word's field space: the shared
+    imm/target field at its ±2^28 boundaries for every format, and every
+    annotation-flag combination (the flag field is only 10 bits, so the
+    full product is cheap to enumerate)."""
+
+    # one representative op per low-field interpretation
+    _IMM_OPS = (Op.LI, Op.ADDI, Op.LD, Op.SD)
+    _TARGET_OPS = (Op.BEQ, Op.BEQZ, Op.J)
+
+    @pytest.mark.parametrize("op", _IMM_OPS, ids=lambda o: o.mnemonic)
+    @pytest.mark.parametrize("imm", [
+        _IMM_MIN, _IMM_MIN + 1, -1, 0, 1, _IMM_MAX - 1, _IMM_MAX])
+    def test_imm_boundaries(self, op, imm):
+        assert _roundtrip(Instruction(op=op, rd=1, rs1=2, imm=imm)).imm == imm
+
+    @pytest.mark.parametrize("op", _TARGET_OPS, ids=lambda o: o.mnemonic)
+    @pytest.mark.parametrize("target", [
+        _IMM_MIN, -1, 0, 1, _IMM_MAX])
+    def test_target_boundaries(self, op, target):
+        i = Instruction(op=op, rs1=1, rs2=2, target=target)
+        j = _roundtrip(i)
+        assert j.target == target and j.imm == 0
+
+    @pytest.mark.parametrize("op", _IMM_OPS, ids=lambda o: o.mnemonic)
+    @pytest.mark.parametrize("imm", [_IMM_MIN - 1, _IMM_MAX + 1])
+    def test_imm_just_out_of_range_rejected(self, op, imm):
+        with pytest.raises(EncodingError) as err:
+            encode_instruction(Instruction(op=op, rd=1, rs1=2, imm=imm))
+        msg = str(err.value)
+        assert op.mnemonic in msg and str(imm) in msg and "29 bits" in msg
+
+    def test_all_annotation_flag_combos_roundtrip(self):
+        """Exhaustive: 3 streams x 2^8 boolean flags.  Every combination
+        must survive the 10-bit flag field bit-exactly."""
+        bools = ("cmas", "probable_miss", "trigger", "sdq_data",
+                 "to_ldq", "to_sdq", "ldq_rs1", "ldq_rs2")
+        for stream in (Stream.NONE, Stream.CS, Stream.AS):
+            for mask in range(1 << len(bools)):
+                ann = Annotations(
+                    stream=stream,
+                    **{name: bool(mask >> bit & 1)
+                       for bit, name in enumerate(bools)})
+                i = Instruction(op=Op.LD, rd=3, rs1=4, imm=8, ann=ann)
+                assert _roundtrip(i).ann == ann, (stream, mask)
+
+
 class TestErrors:
     def test_immediate_overflow(self):
         with pytest.raises(EncodingError):
@@ -69,6 +116,15 @@ class TestErrors:
     def test_register_out_of_range(self):
         with pytest.raises(EncodingError):
             encode_instruction(Instruction(op=Op.ADD, rd=64, rs1=0, rs2=0))
+
+    @pytest.mark.parametrize("field", ["rd", "rs1", "rs2"])
+    @pytest.mark.parametrize("reg", [-1, 64, 1000])
+    def test_register_rejection_names_field(self, field, reg):
+        kwargs = {"rd": 0, "rs1": 0, "rs2": 0, field: reg}
+        with pytest.raises(EncodingError) as err:
+            encode_instruction(Instruction(op=Op.ADD, **kwargs))
+        msg = str(err.value)
+        assert f"{field}={reg}" in msg and "add" in msg
 
     def test_bad_word_length(self):
         with pytest.raises(EncodingError):

@@ -84,7 +84,7 @@ class TestSuiteShapes:
     def test_all_benchmarks_present(self, quick_suite):
         assert set(quick_suite.names) == {
             "dm", "raytrace", "pointer", "update", "field",
-            "neighborhood", "transitive",
+            "neighborhood", "transitive", "hashjoin", "spmv",
         }
 
     def test_hidisc_beats_baseline_on_average(self, quick_suite):

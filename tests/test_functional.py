@@ -55,9 +55,19 @@ class TestIntegerAlu:
         assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), -7, 2) == -1
         assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), 7, -2) == 1
 
-    def test_div_by_zero_raises(self):
-        with pytest.raises(SimulationError):
-            eval_int_op(lambda b: b.div("t2", "t0", "t1"), 1, 0)
+    def test_div_by_zero_defined(self):
+        # RISC-V semantics: quotient all-ones, remainder the dividend.
+        assert eval_int_op(lambda b: b.div("t2", "t0", "t1"), 1, 0) == -1
+        assert eval_int_op(lambda b: b.div("t2", "t0", "t1"), -7, 0) == -1
+        assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), 7, 0) == 7
+        assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"), -7, 0) == -7
+
+    def test_div_overflow_wraps(self):
+        # I64_MIN / -1 overflows; RISC-V defines q = I64_MIN, r = 0.
+        assert eval_int_op(lambda b: b.div("t2", "t0", "t1"),
+                           -(2 ** 63), -1) == -(2 ** 63)
+        assert eval_int_op(lambda b: b.rem("t2", "t0", "t1"),
+                           -(2 ** 63), -1) == 0
 
     def test_logicals(self):
         assert eval_int_op(lambda b: b.and_("t2", "t0", "t1"), 0b1100, 0b1010) == 0b1000

@@ -91,22 +91,130 @@ def test_max_steps_error_identical(counting_loop):
     assert messages[0] == messages[1]
 
 
-def test_div_by_zero_error_identical():
+def test_div_by_zero_defined_identically():
+    """Division by zero no longer traps: q = -1, r = dividend (RISC-V),
+    identically on the dispatch-table and legacy paths."""
     from repro.asm.builder import ProgramBuilder
 
     b = ProgramBuilder("divzero")
-    b.li("r1", 1)
+    b.li("r1", 7)
     b.li("r2", 0)
     b.div("r3", "r1", "r2")
+    b.rem("r4", "r1", "r2")
+    b.li("r5", -9)
+    b.rem("r6", "r5", "r2")
     b.halt()
     program = b.build()
-    messages = []
+    finals = []
     for fast in (True, False):
-        with pytest.raises(SimulationError) as err:
-            FunctionalSimulator(program).run(fast=fast)
-        messages.append(str(err.value))
-    assert messages[0] == messages[1]
-    assert "division by zero" in messages[0]
+        state = FunctionalSimulator(program).run(fast=fast)
+        finals.append(list(state.regs))
+    assert finals[0] == finals[1]
+    regs = finals[0]
+    assert regs[3] == -1 and regs[4] == 7 and regs[6] == -9
+
+
+# ----------------------------------------------------------------------
+# ALU edge semantics as fast-vs-legacy parity properties (boundary
+# operands + a seeded random sweep).  Each case materialises the operands
+# with li64, runs one ALU op on both interpreter paths, and asserts the
+# paths agree — and, where the architecture pins a value, that both match
+# it.
+# ----------------------------------------------------------------------
+
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+_RR_OPS = ("add", "sub", "mul", "div", "rem", "and_", "or_", "xor", "nor",
+           "sll", "srl", "sra", "slt", "sltu")
+
+
+def _alu_both(op_name: str, a: int, b: int) -> int:
+    """Run ``rd = op(a, b)`` on both paths; assert parity; return rd."""
+    from repro.asm.builder import ProgramBuilder
+
+    builder = ProgramBuilder(f"edge_{op_name}")
+    builder.li64("t0", a)
+    builder.li64("t1", b)
+    getattr(builder, op_name)("t2", "t0", "t1")
+    builder.halt()
+    program = builder.build()
+    values = []
+    for fast in (True, False):
+        state = FunctionalSimulator(program).run(fast=fast)
+        values.append(state.regs[10])  # t2
+    assert values[0] == values[1], (op_name, a, b)
+    return values[0]
+
+
+@pytest.mark.parametrize("a,b,quotient,remainder", [
+    (I64_MIN, -1, I64_MIN, 0),      # the overflow wrap
+    (I64_MIN, 1, I64_MIN, 0),
+    (I64_MIN, 0, -1, I64_MIN),      # division by zero: q=-1, r=a
+    (I64_MAX, 0, -1, I64_MAX),
+    (-7, 2, -3, -1),                # truncation toward zero
+    (7, -2, -3, 1),                 # remainder sign follows dividend
+])
+def test_div_rem_boundary_parity(a, b, quotient, remainder):
+    assert _alu_both("div", a, b) == quotient
+    assert _alu_both("rem", a, b) == remainder
+
+
+@pytest.mark.parametrize("amount", [64, 65, 127, 128, -1, -64, 63])
+def test_shift_amounts_masked_identically(amount):
+    """Shift amounts are taken mod 64 (the & 63 mask), including negative
+    register values — -1 & 63 == 63 on both paths."""
+    from repro.utils import to_signed64
+
+    masked = amount & 63
+    assert _alu_both("sll", 1, amount) == to_signed64(1 << masked)
+    assert _alu_both("srl", -1, amount) == to_signed64(
+        ((1 << 64) - 1) >> masked)
+    assert _alu_both("sra", I64_MIN, amount) == I64_MIN >> masked
+
+
+@pytest.mark.parametrize("a,b", [
+    (I64_MIN, I64_MAX), (I64_MIN, -1), (I64_MAX, -1),
+    (I64_MIN, I64_MIN), (I64_MAX, I64_MAX), (-1, 0),
+])
+def test_bitwise_sign_boundary_parity(a, b):
+    import repro.utils as utils
+
+    assert _alu_both("xor", a, b) == utils.to_signed64(a ^ b)
+    assert _alu_both("nor", a, b) == utils.to_signed64(~(a | b))
+    assert _alu_both("and_", a, b) == utils.to_signed64(a & b)
+    assert _alu_both("or_", a, b) == utils.to_signed64(a | b)
+
+
+def test_alu_edge_random_sweep():
+    """Seeded random property sweep: every RR op, operands drawn from a
+    boundary-heavy pool, fast and legacy paths bit-identical (one combined
+    program per op keeps this fast)."""
+    import random
+
+    from repro.asm.builder import ProgramBuilder
+
+    rng = random.Random(2003)
+    pool = [0, 1, -1, 2, -2, 63, 64, 65, I64_MIN, I64_MAX,
+            I64_MIN + 1, I64_MAX - 1, 1 << 32, -(1 << 32)]
+    for op_name in _RR_OPS:
+        builder = ProgramBuilder(f"sweep_{op_name}")
+        out = builder.data_space("out", 40 * 8)
+        builder.la("s0", "out")
+        for slot in range(40):
+            a = rng.choice(pool) if rng.random() < 0.7 else rng.getrandbits(64) - (1 << 63)
+            b = rng.choice(pool) if rng.random() < 0.7 else rng.getrandbits(64) - (1 << 63)
+            builder.li64("t0", a)
+            builder.li64("t1", b)
+            getattr(builder, op_name)("t2", "t0", "t1")
+            builder.sd("t2", slot * 8, "s0")
+        builder.halt()
+        program = builder.build()
+        images = []
+        for fast in (True, False):
+            state = FunctionalSimulator(program).run(fast=fast)
+            images.append(state.memory.read_bytes(out, 40 * 8))
+        assert images[0] == images[1], op_name
 
 
 def test_missing_stream_annotation_raises_at_call_time(counting_loop):

@@ -12,15 +12,19 @@ from repro.slicer import compile_hidisc, validate_decoupled_dynamic
 from repro.workloads import (
     DmWorkload,
     FieldWorkload,
+    HashJoinWorkload,
     NeighborhoodWorkload,
     PointerWorkload,
     RayTraceWorkload,
+    SpmvWorkload,
     TransitiveWorkload,
     UpdateWorkload,
     WORKLOAD_CLASSES,
+    WorkloadSpec,
     check_ap_executable,
     get_workload,
     quick_workloads,
+    workloads_from_spec,
 )
 
 QUICK = {w.name: w for w in quick_workloads()}
@@ -138,7 +142,7 @@ class TestRegistry:
     def test_class_order_matches_paper(self):
         assert [c.name for c in WORKLOAD_CLASSES] == [
             "dm", "raytrace", "pointer", "update", "field",
-            "neighborhood", "transitive",
+            "neighborhood", "transitive", "hashjoin", "spmv",
         ]
 
     def test_get_workload_unknown(self):
@@ -149,6 +153,76 @@ class TestRegistry:
         for quick, full_cls in zip(quick_workloads(), WORKLOAD_CLASSES):
             full = full_cls()
             assert len(bytes(quick.program.data)) <= len(bytes(full.program.data))
+
+
+class TestWorkloadSpec:
+    SPEC = WorkloadSpec(size=128, stride=2, hot_fraction=0.8,
+                        chase_depth=3, value_range=(1, 50),
+                        intensity=0.05, seed=11)
+
+    def test_every_family_builds_and_verifies_from_one_spec(self):
+        built = workloads_from_spec(self.SPEC)
+        assert [w.name for w in built] == [c.name for c in WORKLOAD_CLASSES]
+        for w in built:
+            state = FunctionalSimulator(w.program).run()
+            w.verify(state)
+
+    def test_spec_axes_reach_the_families(self):
+        pointer = PointerWorkload.from_spec(self.SPEC)
+        assert pointer.n == 128 and pointer.hops == 3
+        spmv = SpmvWorkload.from_spec(self.SPEC)
+        assert spmv.rows == 128 and spmv.stride == 2
+        dm = DmWorkload.from_spec(self.SPEC)
+        assert dm.n == 128
+
+    def test_update_rounds_size_to_power_of_two(self):
+        w = UpdateWorkload.from_spec(WorkloadSpec(size=100, intensity=0.02))
+        assert w.n == 128
+
+    def test_spec_seed_threads_through(self):
+        a = FieldWorkload.from_spec(WorkloadSpec(size=300, seed=1))
+        b = FieldWorkload.from_spec(WorkloadSpec(size=300, seed=2))
+        assert bytes(a.program.data) != bytes(b.program.data)
+
+    @pytest.mark.parametrize("bad", [
+        dict(size=0), dict(stride=-1), dict(hot_fraction=1.5),
+        dict(chase_depth=0), dict(value_range=(5, 1)), dict(intensity=0),
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**bad)
+
+    def test_spec_built_workloads_fingerprint_distinctly(self):
+        from repro.experiments.cache import workload_fingerprint
+
+        small = HashJoinWorkload.from_spec(WorkloadSpec(size=64,
+                                                        intensity=0.05))
+        large = HashJoinWorkload.from_spec(WorkloadSpec(size=128,
+                                                        intensity=0.05))
+        assert workload_fingerprint(small) != workload_fingerprint(large)
+
+
+class TestNewFamilies:
+    def test_hashjoin_walks_whole_chains(self):
+        """A join must find *all* duplicates, not first hits: the match
+        count has to exceed the number of distinct matched probe keys."""
+        w = HashJoinWorkload(build=256, probes=64, buckets=32,
+                             hit_fraction=1.0)
+        count = int(w.expected_outputs()["out"][0])
+        distinct = len(set(int(k) for k in w._pkeys
+                           if (w._rkeys == k).any()))
+        assert count > distinct
+
+    def test_spmv_handles_empty_rows(self):
+        w = SpmvWorkload(rows=64, row_nnz=2, seed=5)
+        lens = np.diff(w._rowptr)
+        assert (lens == 0).any(), "generator should produce empty rows"
+        state = FunctionalSimulator(w.program).run()
+        w.verify(state)
+
+    def test_spmv_stride_spreads_gather(self):
+        w = SpmvWorkload(rows=64, row_nnz=4, stride=8)
+        assert (w._colidx % 8 == 0).all()
 
 
 class TestGenerators:
