@@ -112,5 +112,49 @@ class ConfigError(ReproError):
     """Invalid machine or experiment configuration."""
 
 
+class InterruptedRun(ReproError):
+    """A run was stopped at a safe point by SIGINT/SIGTERM.
+
+    Raised by :func:`repro.experiments.interrupt.poll` at cell boundaries
+    once a graceful-interrupt handler has seen a signal — completed cells
+    are already checkpointed, so a subsequent ``--resume`` (or a service
+    worker re-claiming the job) continues without recomputing them.
+    Carries the *signal* name so ledger records and job events can say
+    what stopped the run.
+    """
+
+    def __init__(self, signal_name: str = "SIGINT"):
+        self.signal_name = signal_name
+        super().__init__(
+            f"run interrupted by {signal_name} — completed cells are "
+            f"checkpointed; resume with --resume (or let the service "
+            f"re-lease the job) to continue without recomputation"
+        )
+
+
+class ServiceError(ReproError):
+    """Job-service failure (queue, lease, worker, or HTTP front end)."""
+
+
+class BackpressureError(ServiceError):
+    """A job submission was rejected by admission control.
+
+    Carries the configured *depth* limit so clients can render an
+    actionable message (and an HTTP 429 with a Retry-After hint).
+    """
+
+    def __init__(self, depth: int, limit: int):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"job queue is full ({depth} pending >= limit {limit}) — "
+            f"retry after the backlog drains or raise --max-depth"
+        )
+
+
+class JobCancelled(ServiceError):
+    """A leased job observed its cancellation marker and stopped."""
+
+
 class WorkloadError(ReproError):
     """Workload construction or self-check failure."""

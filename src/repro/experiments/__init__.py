@@ -9,12 +9,14 @@
 * :mod:`repro.experiments.checkpoint` — crash-resumable suite checkpoints.
 * :mod:`repro.experiments.ledger` — append-only per-run ledger.
 * :mod:`repro.experiments.parallel` — process-pool grid execution.
+* :mod:`repro.experiments.interrupt` — graceful SIGINT/SIGTERM stops.
 * :mod:`repro.experiments.cli` — the ``hidisc`` command.
 """
 
 from .cache import RunCache, compile_key, prepare_cached
 from .checkpoint import SuiteCheckpoint, suite_key
-from .ledger import RunLedger, ledger_path, new_run_id
+from .interrupt import GracefulInterrupt
+from .ledger import RunLedger, ledger_path, locked_append, new_run_id
 from .figure8 import Figure8, figure8
 from .figure9 import Figure9, figure9
 from .figure10 import FIGURE10_BENCHMARKS, Figure10, figure10
@@ -39,6 +41,7 @@ __all__ = [
     "Figure10",
     "Figure8",
     "Figure9",
+    "GracefulInterrupt",
     "MODEL_LABELS",
     "MODEL_ORDER",
     "PAPER",
@@ -54,6 +57,7 @@ __all__ = [
     "figure8",
     "figure9",
     "ledger_path",
+    "locked_append",
     "new_run_id",
     "prepare",
     "prepare_cached",

@@ -19,6 +19,17 @@ Installed as the ``hidisc`` console script::
     hidisc runs list                       # recent runs from the ledger
     hidisc runs report                     # latest run + regression check
     hidisc bench                           # perf snapshot -> BENCH_<date>.json
+    hidisc serve --workers 2               # durable simulation service
+    hidisc submit --quick --wait           # queue a suite job, await it
+    hidisc jobs                            # list jobs; 'jobs <id>' inspects
+    hidisc cancel <job_id>                 # request cancellation
+
+Suite-family commands and ``faults`` stop gracefully on SIGINT/SIGTERM:
+the first signal finishes and checkpoints the in-flight grid cell, the
+ledger records ``outcome: "interrupted"``, and the process exits 130;
+``--resume`` then continues without recomputing (a second signal aborts
+hard).  ``hidisc serve`` extends the same discipline to a daemon — see
+:mod:`repro.service` and DESIGN §9.
 
 Experiment commands run compilations through a persistent on-disk cache
 (``--cache-dir``, default ``$HIDISC_CACHE_DIR`` or ``~/.cache/hidisc``;
@@ -44,6 +55,7 @@ import time
 from dataclasses import replace
 
 from ..config import MachineConfig, TelemetryConfig
+from ..errors import InterruptedRun
 from ..telemetry import (
     ChromeTraceSink,
     Heartbeat,
@@ -60,7 +72,9 @@ from ..telemetry import (
     write_konata,
 )
 from ..workloads import WORKLOADS_BY_NAME, get_workload
+from . import interrupt as interrupt_mod
 from .cache import RunCache, prepare_cached
+from .interrupt import GracefulInterrupt
 from .figure8 import figure8
 from .figure9 import figure9
 from .figure10 import figure10
@@ -82,7 +96,8 @@ from .table2 import table2
 
 _COMMANDS = ("table1", "table2", "figure8", "figure9", "figure10", "all",
              "suite", "stats", "trace", "lifecycle", "diff", "cache",
-             "faults", "bench", "runs", "fuzz")
+             "faults", "bench", "runs", "fuzz", "serve", "submit", "jobs",
+             "cancel")
 
 _CACHE_ACTIONS = ("stats", "clear")
 
@@ -92,7 +107,16 @@ _RUNS_ACTIONS = ("list", "show", "report")
 #: bookkeeping commands that merely inspect caches/ledgers/payloads).
 _LEDGER_COMMANDS = frozenset(
     {"table2", "figure8", "figure9", "figure10", "all", "suite",
-     "stats", "trace", "lifecycle", "faults", "fuzz"}
+     "stats", "trace", "lifecycle", "faults", "fuzz", "serve"}
+)
+
+#: Commands whose long-running grids get graceful SIGINT/SIGTERM
+#: handling: first signal stops at the next cell boundary (everything
+#: completed so far is checkpointed; the ledger records
+#: ``outcome: "interrupted"``), second signal aborts hard.  ``serve``
+#: manages its own interrupt context (it must drain workers first).
+_INTERRUPTIBLE = frozenset(
+    {"table2", "figure8", "figure9", "figure10", "all", "suite", "faults"}
 )
 
 #: lifecycle output defaults per format (when --out is not given).
@@ -119,7 +143,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="for 'hidisc cache': 'stats' (default) or "
                              "'clear'; for 'hidisc runs': 'list' "
                              "(default), 'show' or 'report'; for "
-                             "'hidisc diff': the first payload path")
+                             "'hidisc diff': the first payload path; for "
+                             "'hidisc jobs'/'hidisc cancel': a job id")
     parser.add_argument("diff_b", nargs="?", metavar="payload_b",
                         help="for 'hidisc diff': the second payload path; "
                              "for 'hidisc runs show|report': a run-id "
@@ -233,6 +258,65 @@ def build_parser() -> argparse.ArgumentParser:
                               "fast-path dispatch entry (see repro.fuzz."
                               "harness.FAULTS); the campaign must then "
                               "FIND divergences — exit 0 iff it does")
+    service = parser.add_argument_group(
+        "service options", "durable simulation service (repro.service): "
+                           "'hidisc serve' runs the daemon, "
+                           "'submit'/'jobs'/'cancel' are its clients")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="serve: interface to bind (default 127.0.0.1)")
+    service.add_argument("--port", type=_non_negative, default=8203,
+                         help="serve: TCP port (default 8203; 0 picks a "
+                              "free port and prints it)")
+    service.add_argument("--url", default=None, metavar="URL",
+                         help="submit/jobs/cancel: service endpoint "
+                              "(default $HIDISC_SERVICE_URL or "
+                              "http://127.0.0.1:8203)")
+    service.add_argument("--workers", type=_non_negative, default=2,
+                         metavar="N",
+                         help="serve: worker processes to supervise "
+                              "(default 2)")
+    service.add_argument("--lease-ttl", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="serve: job lease time-to-live; a worker "
+                              "silent this long loses its job to the "
+                              "reaper (default 30)")
+    service.add_argument("--max-depth", type=_positive, default=64,
+                         metavar="N",
+                         help="serve: admission control — reject new jobs "
+                              "(HTTP 429) past this many pending "
+                              "(default 64)")
+    service.add_argument("--job-attempts", type=_positive, default=3,
+                         metavar="N",
+                         help="serve: executions (failures + expired "
+                              "leases) before a job is quarantined as "
+                              "poison (default 3)")
+    service.add_argument("--retry-backoff", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="serve: base delay before retrying a failed "
+                              "job, doubling per attempt (default 0.5)")
+    service.add_argument("--drain-grace", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="serve: how long a SIGTERM'd worker may take "
+                              "to checkpoint and release its job before "
+                              "being killed (default 30)")
+    service.add_argument("--benchmarks", metavar="NAMES", default=None,
+                         help="submit: comma-separated benchmark names "
+                              "(default: the full suite for the chosen "
+                              "scale)")
+    service.add_argument("--modes", metavar="MODELS", default=None,
+                         help="submit: comma-separated machine models "
+                              f"(default: all of {', '.join(MODEL_ORDER)})")
+    service.add_argument("--cell-delay", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="submit: sleep after each freshly computed "
+                              "grid cell (testing hook for kill-timing; "
+                              "default 0)")
+    service.add_argument("--follow", action="store_true",
+                         help="submit/jobs <id>: stream the job's JSONL "
+                              "events until it reaches a terminal state")
+    service.add_argument("--wait", action="store_true",
+                         help="submit: block until the job is terminal; "
+                              "exit 0 iff it completed")
     bench = parser.add_argument_group(
         "bench options", "simulator performance snapshots "
                          "(benchmarks/record.py)")
@@ -335,10 +419,12 @@ def _run_faults(args, config: MachineConfig, progress,
     print(plan.describe())
     outcomes = []
     for workload in workloads:
+        interrupt_mod.poll()
         if progress:
             progress(f"preparing {workload.name} ...")
         compiled = prepare_cached(workload, config, cache)
         for mode in MODEL_ORDER:
+            interrupt_mod.poll()
             outcome = run_fault_campaign(compiled, config, mode, plan,
                                          max_cycles=args.max_cycles)
             print(outcome.summary())
@@ -520,6 +606,136 @@ def _run_runs(args, payload: dict) -> int:
     return 0
 
 
+def _service_url(args) -> str:
+    return (args.url or os.environ.get("HIDISC_SERVICE_URL")
+            or "http://127.0.0.1:8203")
+
+
+def _split_names(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    return names or None
+
+
+def _submit_spec(args) -> dict:
+    spec: dict = {"kind": "suite", "quick": args.quick, "seed": args.seed,
+                  "verify": args.verify}
+    benchmarks = _split_names(args.benchmarks)
+    if benchmarks is not None:
+        spec["benchmarks"] = benchmarks
+    modes = _split_names(args.modes)
+    if modes is not None:
+        spec["modes"] = modes
+    if args.cell_delay:
+        spec["cell_delay"] = args.cell_delay
+    return spec
+
+
+def _run_serve(args, progress, payload: dict) -> int:
+    """The 'serve' command: run the durable simulation service daemon.
+
+    SIGTERM/SIGINT drains gracefully: workers finish/checkpoint their
+    in-flight cell, release their jobs back to pending, and the daemon
+    exits 0; nothing is left in ``leased/``.  A later ``hidisc serve``
+    resumes released jobs from their suite checkpoints.
+    """
+    from ..service import SERVICE_DIR, ServiceServer
+
+    root = RunCache(args.cache_dir).root / SERVICE_DIR
+    server = ServiceServer(
+        root, host=args.host, port=args.port, workers=args.workers,
+        lease_ttl=args.lease_ttl, max_depth=args.max_depth,
+        max_attempts=args.job_attempts, retry_backoff=args.retry_backoff,
+        drain_grace=args.drain_grace)
+    server.start()
+    with GracefulInterrupt() as interrupt_ctx:
+        code = server.serve_forever(interrupt_ctx=interrupt_ctx)
+    payload["serve"] = server.health()
+    return code
+
+
+def _event_line(event: dict) -> str:
+    kind = event.get("kind", "?")
+    rest = {k: v for k, v in event.items() if k not in ("kind", "t")}
+    detail = " ".join(f"{k}={v}" for k, v in sorted(rest.items()))
+    return f"[{event.get('t', 0):.3f}] {kind}" + (f" {detail}" if detail
+                                                  else "")
+
+
+def _run_service_client(args, payload: dict) -> int:
+    """'submit', 'jobs' and 'cancel': thin clients for a running daemon."""
+    from ..errors import BackpressureError, ServiceError
+    from ..service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if args.command == "cancel":
+            response = client.cancel(args.cache_action)
+            print(f"job {response['job_id']}: cancellation requested "
+                  f"(state: {response['state']})")
+            payload["cancel"] = response
+            return 0
+        if args.command == "jobs":
+            if args.cache_action is None:
+                jobs = client.jobs()
+                payload["jobs"] = jobs
+                if not jobs:
+                    print("no jobs")
+                    return 0
+                for job in jobs:
+                    grid = (",".join(job["benchmarks"])
+                            if job.get("benchmarks") else "suite")
+                    state = job["state"] + (f"/{job['outcome']}"
+                                            if job.get("outcome") else "")
+                    print(f"{job['job_id']}  {state:22s} "
+                          f"attempts={job['attempts']} "
+                          f"cells={job['cells_done']}  {grid} "
+                          f"x {','.join(job.get('modes') or [])}"
+                          + ("  [quick]" if job.get("quick") else ""))
+                return 0
+            if args.follow:
+                for event in client.events(args.cache_action, follow=True):
+                    print(_event_line(event))
+            record = client.job(args.cache_action)
+            payload["job"] = record
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        # submit
+        response = client.submit(_submit_spec(args))
+        job_id = response["job_id"]
+        payload["submit"] = response
+        if response.get("created"):
+            print(f"job {job_id}: submitted")
+        else:
+            print(f"job {job_id}: joined an identical in-flight job "
+                  f"({response.get('submitted')} submissions share it)")
+        if not (args.follow or args.wait):
+            return 0
+        if args.follow:
+            for event in client.events(job_id, follow=True):
+                print(_event_line(event))
+            record = client.job(job_id)
+        else:
+            record = client.wait(job_id)
+        payload["job"] = record
+        state, job_outcome = record.get("state"), record.get("outcome")
+        print(f"job {job_id}: {state}"
+              + (f" ({job_outcome})" if job_outcome else ""))
+        if record.get("error"):
+            print(f"  error: {record['error']}", file=sys.stderr)
+        if state == "done":
+            payload["result"] = client.result(job_id)
+            return 0
+        return 1
+    except BackpressureError as exc:
+        print(f"hidisc {args.command}: {exc}", file=sys.stderr)
+        return 75  # EX_TEMPFAIL: retry after the backlog drains
+    except ServiceError as exc:
+        print(f"hidisc {args.command}: {exc}", file=sys.stderr)
+        return 2
+
+
 def _stats_payload(result, telemetry: Telemetry) -> dict:
     return {
         "machine": result.machine,
@@ -560,9 +776,22 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
         if args.cache_action is None or args.diff_b is None:
             parser.error("diff needs two payload paths: "
                          "hidisc diff <payload_a> <payload_b>")
+    elif args.command == "jobs":
+        if args.diff_b is not None:
+            parser.error(f"unexpected argument {args.diff_b!r} after "
+                         f"'jobs {args.cache_action}'")
+    elif args.command == "cancel":
+        if args.cache_action is None:
+            parser.error("cancel needs a job id: hidisc cancel <job_id>")
+        if args.diff_b is not None:
+            parser.error(f"unexpected argument {args.diff_b!r} after "
+                         f"'cancel {args.cache_action}'")
     elif args.cache_action is not None:
-        parser.error(f"'{args.cache_action}' is only valid after 'cache' "
-                     f"or 'runs'")
+        parser.error(f"'{args.cache_action}' is only valid after 'cache', "
+                     f"'runs', 'jobs' or 'cancel'")
+    if args.command == "serve" and args.no_cache:
+        parser.error("the service spool lives in the run cache — "
+                     "'hidisc serve' cannot run with --no-cache")
     if args.trace_format == "kanata" and args.command != "lifecycle":
         parser.error("--format kanata is only valid for 'hidisc lifecycle'")
 
@@ -618,9 +847,15 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
     outcome, code = "ok", 0
     try:
-        code = _dispatch(args, config, progress, cache)
+        with GracefulInterrupt(enabled=args.command in _INTERRUPTIBLE):
+            code = _dispatch(args, config, progress, cache)
         if code:
             outcome = f"exit:{code}"
+        return code
+    except InterruptedRun as exc:
+        outcome = "interrupted"
+        code = 130
+        print(f"\nhidisc {args.command}: {exc}", file=sys.stderr)
         return code
     except SystemExit as exc:
         code = exc.code if isinstance(exc.code, int) else 2
@@ -655,6 +890,20 @@ def _dispatch(args, config: MachineConfig, progress,
 
     if args.command == "runs":
         code = _run_runs(args, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command == "serve":
+        code = _run_serve(args, progress, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command in ("submit", "jobs", "cancel"):
+        code = _run_service_client(args, payload)
         if args.json:
             path = write_json(args.json, payload)
             print(f"\nraw results written to {path}", file=sys.stderr)

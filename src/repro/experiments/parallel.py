@@ -47,6 +47,7 @@ from ..config import MachineConfig
 from ..errors import ConfigError
 from ..telemetry import metrics, spans
 from ..workloads import Workload
+from . import interrupt
 
 ProgressFn = Callable[[str], None]
 
@@ -241,6 +242,10 @@ def _run_pool_round(tasks: Sequence[Task], pending: Sequence[int],
             futures[index] = pool.submit(tasks[index].fn,
                                          *tasks[index].args)
         for index, future in futures.items():
+            # A graceful interrupt stops between results: everything
+            # delivered so far is checkpointed by on_result; undelivered
+            # futures are cancelled by the shutdown below.
+            interrupt.poll()
             try:
                 result = future.result(timeout=timeout)
             except (BrokenProcessPool, FuturesTimeoutError, OSError) as exc:
@@ -313,6 +318,7 @@ def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
     with spans.span("run_tasks", cat="pool", tasks=len(tasks), jobs=jobs):
         if jobs <= 1:
             for index, task in enumerate(tasks):
+                interrupt.poll()
                 deliver(index, _run_inline(task, progress))
             return results
 
@@ -353,6 +359,7 @@ def run_tasks(tasks: Sequence[Task] | Iterable[Task], jobs: int = 1,
         with spans.span("serial_fallback", cat="pool", tasks=remaining):
             for index, task in enumerate(tasks):
                 if results[index] is _UNSET:
+                    interrupt.poll()
                     deliver(index, _run_inline(task, progress))
         return results
 

@@ -21,8 +21,15 @@ from .cache import RunCache, prepare_cached
 from .checkpoint import SuiteCheckpoint
 from .models import MODEL_ORDER
 from .runner import BenchmarkResults, CompiledWorkload, run_model
+from . import interrupt
 
 ProgressFn = Callable[[str], None]
+
+#: Per-cell completion hook: ``on_cell(benchmark, mode, resumed)`` fires
+#: after each grid cell is checkpointed (or loaded from a checkpoint).
+#: The service worker uses it for job events, lease-freshness checks and
+#: cancellation polls; tests use it to interrupt at exact cell counts.
+CellFn = Callable[[str, str, bool], None]
 
 
 @dataclass
@@ -92,6 +99,7 @@ def run_suite(
     task_timeout: float | None = None,
     verify: bool = False,
     resume: bool = False,
+    on_cell: CellFn | None = None,
 ) -> SuiteResult:
     """Prepare and simulate every benchmark on every model.
 
@@ -117,6 +125,13 @@ def run_suite(
     uninterrupted run modulo ``elapsed_seconds``).  ``verify=True``
     referees every cell with the co-simulation oracle
     (:func:`repro.resilience.verified_run`).
+
+    *on_cell* fires after every cell lands (computed-and-checkpointed or
+    resumed), and the loops poll :func:`repro.experiments.interrupt.poll`
+    at the same boundaries — under a
+    :class:`~repro.experiments.interrupt.GracefulInterrupt` a SIGINT/
+    SIGTERM therefore stops the suite *between* cells with every
+    completed cell safely on disk.
     """
     config = config if config is not None else MachineConfig()
     if workloads is None:
@@ -150,10 +165,12 @@ def run_suite(
             _run_suite_parallel(suite, workloads, config, modes, progress,
                                 cpi=cpi_stacks, jobs=jobs, cache=cache,
                                 task_timeout=task_timeout, verify=verify,
-                                checkpoint=checkpoint, resume=resume)
+                                checkpoint=checkpoint, resume=resume,
+                                on_cell=on_cell)
             suite.elapsed_seconds = time.perf_counter() - start
             return suite
         for workload in workloads:
+            interrupt.poll()
             if progress:
                 progress(f"preparing {workload.name} ...")
             compiled = prepare_cached(workload, config, cache)
@@ -164,10 +181,12 @@ def run_suite(
                 )
             bench = BenchmarkResults(compiled=compiled)
             for mode in modes:
+                interrupt.poll()
                 result = (
                     checkpoint.load(workload.name, mode)
                     if resume and checkpoint is not None else None
                 )
+                resumed = result is not None
                 if result is None:
                     result = run_model(compiled, config, mode,
                                        telemetry=telemetry, verify=verify)
@@ -179,6 +198,8 @@ def run_suite(
                     if progress:
                         progress(f"  {workload.name}/{mode}: resumed from "
                                  f"checkpoint")
+                if on_cell is not None:
+                    on_cell(workload.name, mode, resumed)
                 bench.results[mode] = result
             suite.benchmarks[workload.name] = bench
             if progress:
@@ -201,7 +222,8 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
                         task_timeout: float | None,
                         verify: bool = False,
                         checkpoint: SuiteCheckpoint | None = None,
-                        resume: bool = False) -> None:
+                        resume: bool = False,
+                        on_cell: CellFn | None = None) -> None:
     """Fan the suite grid out over worker processes (deterministic order).
 
     Each completed cell is checkpointed from the parent the moment its
@@ -231,6 +253,8 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
             result = checkpoint.load(cw.name, mode)
             if result is not None:
                 cells[index] = result
+                if on_cell is not None:
+                    on_cell(cw.name, mode, True)
         if cells:
             metrics.inc("cells_resumed", len(cells))
         if progress and cells:
@@ -252,9 +276,11 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
             grid_index = missing[task_index]
             cells[grid_index] = result
             metrics.inc("cells_completed")
+            cw, mode = grid[grid_index]
             if checkpoint is not None:
-                cw, mode = grid[grid_index]
                 checkpoint.store(cw.name, mode, result)
+            if on_cell is not None:
+                on_cell(cw.name, mode, False)
 
         try:
             run_tasks(tasks, jobs=jobs, timeout=task_timeout,

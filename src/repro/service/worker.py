@@ -1,0 +1,204 @@
+"""Leased worker process: claim, heartbeat, execute, transition.
+
+One worker is one OS process (``python -m repro.service.worker`` — the
+``hidisc serve`` supervisor spawns N of them).  The loop is::
+
+    claim -> [lease-keeper thread renews every ttl/3] -> execute_job
+          -> complete | fail | cancel | release | abandon
+
+and every exceptional path maps to exactly one queue transition:
+
+============================  =====================================
+what happened                 transition
+============================  =====================================
+suite finished                ``complete`` (ownership-checked)
+execution raised              ``fail`` -> retry w/ backoff or
+                              quarantine past the budget
+cancel marker observed        ``cancel_job`` -> failed/cancelled
+SIGTERM/SIGINT (drain)        ``release`` -> pending, attempt-neutral
+lease lost (reaper requeued)  *nothing* — the new owner has it
+SIGKILL                       nothing runs; the reaper's lease
+                              expiry requeues the job
+============================  =====================================
+
+Graceful drain rides :class:`repro.experiments.interrupt.GracefulInterrupt`:
+the first SIGTERM sets the flag, ``run_suite``'s per-cell polls raise
+:class:`~repro.errors.InterruptedRun` at the next cell boundary (every
+finished cell already checkpointed), the worker releases the job and
+exits 0.  A second signal aborts hard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+import traceback
+
+from ..errors import InterruptedRun, JobCancelled
+from ..experiments.cache import RunCache
+from ..experiments.interrupt import GracefulInterrupt
+from .executor import LeaseLost, execute_job
+from .queue import JobQueue
+from .records import JobRecord
+
+
+class LeaseKeeper(threading.Thread):
+    """Renews one job's lease every ``interval`` seconds until stopped.
+
+    Sets :attr:`lost` (and stops renewing) the moment a renewal fails —
+    the executor's per-cell hook checks it and abandons the run.
+    """
+
+    def __init__(self, queue: JobQueue, job_id: str, worker: str,
+                 interval: float) -> None:
+        super().__init__(name=f"lease-keeper-{job_id}", daemon=True)
+        self.queue = queue
+        self.job_id = job_id
+        self.worker = worker
+        self.interval = max(interval, 0.05)
+        self.lost = threading.Event()
+        self._done = threading.Event()
+
+    def run(self) -> None:
+        while not self._done.wait(self.interval):
+            try:
+                renewed = self.queue.renew(self.job_id, self.worker)
+            except Exception:
+                renewed = None
+            if renewed is None:
+                self.lost.set()
+                return
+
+    def stop(self) -> None:
+        self._done.set()
+        self.join(timeout=5.0)
+
+
+class Worker:
+    """The claim/execute loop for one worker process."""
+
+    def __init__(self, queue: JobQueue, worker_id: str | None = None,
+                 *, poll_interval: float = 0.2, cache: RunCache | None = None,
+                 stream=None) -> None:
+        self.queue = queue
+        self.worker_id = worker_id or f"worker-{os.getpid():x}"
+        self.poll_interval = poll_interval
+        self.cache = cache if cache is not None else RunCache()
+        self.stream = stream if stream is not None else sys.stderr
+        self.jobs_run = 0
+
+    def _log(self, message: str) -> None:
+        try:
+            self.stream.write(f"[{self.worker_id}] {message}\n")
+            self.stream.flush()
+        except OSError:  # pragma: no cover - stream gone during teardown
+            pass
+
+    # ------------------------------------------------------------------
+    def run_one(self, record: JobRecord) -> str:
+        """Execute one claimed job; returns the disposition."""
+        keeper = LeaseKeeper(self.queue, record.job_id, self.worker_id,
+                             interval=self.queue.lease_ttl / 3.0)
+        keeper.start()
+        try:
+            try:
+                result_path = execute_job(
+                    self.queue, record, self.worker_id, cache=self.cache,
+                    lease_lost=keeper.lost)
+            except JobCancelled:
+                self.queue.cancel_job(record, worker=self.worker_id)
+                self._log(f"job {record.job_id}: cancelled")
+                return "cancelled"
+            except InterruptedRun as exc:
+                self.queue.release(record, worker=self.worker_id)
+                self._log(f"job {record.job_id}: released on "
+                          f"{exc.signal_name} (drain)")
+                return "released"
+            except LeaseLost:
+                self._log(f"job {record.job_id}: lease lost, abandoning")
+                return "lost"
+            except Exception as exc:
+                landed = self.queue.fail(
+                    record, f"{type(exc).__name__}: {exc}",
+                    traceback_text=traceback.format_exc(),
+                    worker=self.worker_id)
+                self._log(f"job {record.job_id}: failed "
+                          f"(attempt {record.attempts}) -> {landed}: {exc}")
+                return landed
+            if self.queue.complete(record, result_path,
+                                   worker=self.worker_id):
+                self._log(f"job {record.job_id}: completed")
+                return "completed"
+            self._log(f"job {record.job_id}: completed but lease was "
+                      f"lost; result dropped")
+            return "lost"
+        finally:
+            keeper.stop()
+
+    # ------------------------------------------------------------------
+    def run_forever(self, *, max_jobs: int | None = None,
+                    idle_exit: float | None = None) -> int:
+        """Claim/execute until drained (signal), *max_jobs*, or an idle
+        timeout.  Returns the process exit code (0 for a clean drain).
+        """
+        self._log(f"worker up (pid {os.getpid()}, "
+                  f"lease_ttl {self.queue.lease_ttl}s)")
+        idle_since = time.monotonic()
+        with GracefulInterrupt(stream=self.stream) as gi:
+            while True:
+                if gi.triggered is not None:
+                    self._log(f"drained on {gi.triggered}; exiting")
+                    return 0
+                if max_jobs is not None and self.jobs_run >= max_jobs:
+                    return 0
+                try:
+                    record = self.queue.claim(self.worker_id)
+                except Exception as exc:
+                    self._log(f"claim failed: {exc}")
+                    record = None
+                if record is None:
+                    if idle_exit is not None and \
+                            time.monotonic() - idle_since > idle_exit:
+                        self._log("idle timeout; exiting")
+                        return 0
+                    time.sleep(self.poll_interval)
+                    continue
+                idle_since = time.monotonic()
+                self.jobs_run += 1
+                self._log(f"claimed {record.job_id} "
+                          f"(attempt {record.attempts + 1}/"
+                          f"{record.max_attempts})")
+                self.run_one(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.service.worker`` — spawned by ``hidisc serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service.worker",
+        description="one leased simulation worker (spawned by hidisc serve)")
+    parser.add_argument("--root", required=True,
+                        help="service spool root directory")
+    parser.add_argument("--id", dest="worker_id", default=None,
+                        help="worker name used in leases and logs")
+    parser.add_argument("--lease-ttl", type=float, default=30.0)
+    parser.add_argument("--max-attempts", type=int, default=3)
+    parser.add_argument("--retry-backoff", type=float, default=0.5)
+    parser.add_argument("--poll-interval", type=float, default=0.2)
+    parser.add_argument("--max-jobs", type=int, default=None)
+    parser.add_argument("--idle-exit", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    queue = JobQueue(args.root, lease_ttl=args.lease_ttl,
+                     max_attempts=args.max_attempts,
+                     retry_backoff=args.retry_backoff)
+    queue.ensure_layout()
+    worker = Worker(queue, args.worker_id, poll_interval=args.poll_interval)
+    return worker.run_forever(max_jobs=args.max_jobs,
+                              idle_exit=args.idle_exit)
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

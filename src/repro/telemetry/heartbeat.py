@@ -48,18 +48,42 @@ class Heartbeat:
         self._last_cycle = 0
         self._last_time = time.perf_counter()
 
-    def emit(self, machine, now: int) -> None:
-        """Measure *machine* at cycle *now* and write one status line."""
+    def snapshot(self, machine, now: int) -> dict:
+        """Measure *machine* at cycle *now* as a JSON-ready dict.
+
+        The machine-readable twin of the rendered status line, sharing
+        its field names — the service's per-job event streams
+        (:mod:`repro.service`) emit their heartbeat records in this
+        shape, so a consumer can parse simulator and job heartbeats with
+        one schema.  Does not advance ``next_at`` or write anything.
+        """
         host_now = time.perf_counter()
         dt = host_now - self._last_time
         cps = (now - self._last_cycle) / dt if dt > 0 else 0.0
         committed = sum(core.stats.committed for core in machine.cores)
-        ipc = committed / now if now else 0.0
         occ = machine.queue_occupancy
+        return {
+            "cycle": now,
+            "ipc": committed / now if now else 0.0,
+            "ldq": occ["LDQ"],
+            "sdq": occ["SDQ"],
+            "saq": occ["SAQ"],
+            "host_cps": cps,
+        }
+
+    def emit(self, machine, now: int) -> None:
+        """Measure *machine* at cycle *now* and write one status line.
+
+        On a non-TTY stream (CI logs, pipes, the service's captured
+        worker stderr) the line is plain ``text + "\\n"`` — no ``\\r``
+        control sequences ever reach a log file.
+        """
+        host_now = time.perf_counter()
+        snap = self.snapshot(machine, now)
         text = (
-            f"[hb] cycle={now} ipc={ipc:.3f} "
-            f"ldq={occ['LDQ']} sdq={occ['SDQ']} saq={occ['SAQ']} "
-            f"host_cps={cps:,.0f}"
+            f"[hb] cycle={snap['cycle']} ipc={snap['ipc']:.3f} "
+            f"ldq={snap['ldq']} sdq={snap['sdq']} saq={snap['saq']} "
+            f"host_cps={snap['host_cps']:,.0f}"
         )
         if self.live:
             # Rewrite the single status line in place, padding over any

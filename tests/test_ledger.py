@@ -4,21 +4,29 @@ CLI and the ``--orch-trace`` export path."""
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.config import MachineConfig
 from repro.experiments.cli import main
 from repro.experiments.ledger import (
     RunLedger,
     build_record,
     ledger_path,
+    locked_append,
     new_run_id,
     render_regressions,
     render_run_report,
     render_runs_list,
 )
 from repro.telemetry import metrics, spans
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
 
 
 @pytest.fixture(autouse=True)
@@ -98,6 +106,52 @@ class TestRunLedger:
             ledger.append(_record(run_id=f"r{i}"))
         assert [e["run_id"] for e in ledger.entries(limit=2)] == \
             ["r3", "r4"]
+
+
+class TestLockedAppend:
+    def test_appends_newline_terminated_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert locked_append(path, "one")
+        assert locked_append(path, "two\n")  # trailing newline normalized
+        assert path.read_text() == "one\ntwo\n"
+
+    def test_unwritable_path_is_a_noop(self):
+        assert locked_append(
+            "/proc/definitely/not/writable/x.jsonl", "line") is False
+
+    def test_concurrent_multiprocess_appends_stay_untorn(self, tmp_path):
+        """N processes x M appends under flock: every line must land
+        intact and exactly once — the guarantee service workers and
+        parallel CLI invocations rely on when they share one ledger."""
+        path = tmp_path / "ledger.jsonl"
+        writers, per_writer = 4, 50
+        script = (
+            "import json, sys\n"
+            "from repro.experiments.ledger import locked_append\n"
+            "path, tag = sys.argv[1], sys.argv[2]\n"
+            "for i in range(int(sys.argv[3])):\n"
+            "    line = json.dumps({'tag': tag, 'i': i, 'pad': 'x' * 256})\n"
+            "    assert locked_append(path, line)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), f"p{n}",
+                 str(per_writer)], env=env)
+            for n in range(writers)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * per_writer
+        counts: dict[str, set[int]] = {}
+        for line in lines:
+            event = json.loads(line)  # no torn/interleaved writes
+            assert event["pad"] == "x" * 256
+            counts.setdefault(event["tag"], set()).add(event["i"])
+        assert counts == {f"p{n}": set(range(per_writer))
+                          for n in range(writers)}
 
 
 class TestRenders:

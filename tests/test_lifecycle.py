@@ -359,3 +359,38 @@ class TestHeartbeat:
         Telemetry(cpi=False, heartbeat=hb).close()
         assert hb._open_width == 0
         assert stream.getvalue() == "\r   \r"
+
+    def test_non_tty_stream_never_sees_carriage_returns(self, config):
+        """CI logs / pipes / the service's captured worker stderr must get
+        plain newline-terminated lines — no ``\\r`` control sequences."""
+        program = build_load_compute_store(64)
+        trace, _ = generate_trace(program)
+        stream = io.StringIO()
+        hb = Heartbeat(interval=25, stream=stream)  # autodetects non-TTY
+        Machine(config, program.copy(), trace, mode="superscalar",
+                telemetry=Telemetry(cpi=False, heartbeat=hb)).run()
+        text = stream.getvalue()
+        assert hb.emitted > 0
+        assert "\r" not in text
+        assert text.endswith("\n")
+
+    def test_snapshot_shares_the_status_line_schema(self, config):
+        """snapshot() is the machine-readable twin of the rendered line
+        (the service's job heartbeats reuse this schema) and must neither
+        write nor reschedule."""
+        program = build_load_compute_store(64)
+        trace, _ = generate_trace(program)
+        stream = io.StringIO()
+        hb = Heartbeat(interval=50, stream=stream)
+        machine = Machine(config, program.copy(), trace, mode="superscalar",
+                          telemetry=Telemetry(cpi=False, heartbeat=hb))
+        result = machine.run()
+        before = (hb.next_at, hb.emitted, stream.getvalue())
+        snap = hb.snapshot(machine, result.total_cycles)
+        assert set(snap) == {"cycle", "ipc", "ldq", "sdq", "saq", "host_cps"}
+        assert snap["cycle"] == result.total_cycles
+        assert snap["ipc"] > 0
+        assert all(snap[q] >= 0 for q in ("ldq", "sdq", "saq"))
+        json.dumps(snap)  # JSON-ready for event streams
+        assert (hb.next_at, hb.emitted, stream.getvalue()) == before, \
+            "snapshot must not advance the schedule or write to the stream"

@@ -113,6 +113,24 @@ class TestSuiteCheckpoint:
         assert ckpt.corrupt == 1
         assert not path.exists(), "corrupt cells must be evicted"
 
+    def test_truncated_cell_detected_and_evicted(self, config, tmp_path):
+        """A half-written pickle (crash/SIGKILL mid-``pickle.dump``) must
+        load as None and be evicted, exactly like garbage bytes."""
+        from repro.experiments import prepare
+        from repro.experiments.runner import run_model
+
+        cw = prepare(FieldWorkload(n=500), config)
+        result = run_model(cw, config, "superscalar")
+        ckpt = SuiteCheckpoint(tmp_path / "ck")
+        ckpt.store("field", "superscalar", result)
+        path = ckpt.cell_path("field", "superscalar")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        fresh = SuiteCheckpoint(tmp_path / "ck")
+        assert fresh.load("field", "superscalar") is None
+        assert fresh.corrupt == 1
+        assert not path.exists(), "truncated cells must be evicted"
+
     def test_mislabeled_cell_rejected(self, config, tmp_path):
         """A cell whose payload names a different benchmark (e.g. a renamed
         file) is evicted, not returned."""
@@ -268,6 +286,27 @@ def _sleep_in_worker(parent_pid, seconds):
     return "ok"
 
 
+def _log_and_return(log_path, value):
+    with open(log_path, "a") as fh:
+        fh.write(value + "\n")
+    return value
+
+
+def _die_after_peer(parent_pid, peer_log, sentinel):
+    """First worker-side attempt: wait until the peer task has finished
+    (its log line exists), then die hard — so the round deterministically
+    breaks *after* a result has already been delivered."""
+    if os.getpid() != parent_pid and not os.path.exists(sentinel):
+        deadline = time.time() + 10
+        while not os.path.exists(peer_log) and time.time() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.5)  # let the peer's result drain back to the parent
+        with open(sentinel, "w"):
+            pass
+        os._exit(3)
+    return "ok"
+
+
 class TestRetryBackoff:
     def test_transient_failure_recovers_via_retry(self, tmp_path):
         parent = os.getpid()
@@ -311,6 +350,31 @@ class TestRetryBackoff:
                             on_result=lambda i, r: delivered.append(i))
         assert results == ["done", "ok"]
         assert sorted(delivered) == [0, 1]
+
+    def test_worker_death_mid_round_salvages_delivered_results(self,
+                                                               tmp_path):
+        """A worker SIGKILL mid-round must not lose or re-deliver results
+        that already landed: the finished task is salvaged (computed once,
+        delivered once) and only unfinished tasks are resubmitted."""
+        parent = os.getpid()
+        log = tmp_path / "ran.log"
+        sentinel = str(tmp_path / "second-attempt")
+        tasks = [Task(label="a", fn=_log_and_return, args=(str(log), "a")),
+                 Task(label="boom", fn=_die_after_peer,
+                      args=(parent, str(log), sentinel)),
+                 Task(label="c", fn=_identity_task, args=("c",))]
+        delivered = []
+        messages = []
+        results = run_tasks(tasks, jobs=2, retries=2, backoff=0.01,
+                            progress=messages.append,
+                            on_result=lambda i, r: delivered.append(i))
+        assert results == ["a", "ok", "c"]
+        assert sorted(delivered) == [0, 1, 2]
+        assert len(delivered) == len(set(delivered)), \
+            "salvaged results must not be re-delivered after the rebuild"
+        assert "rebuilding worker pool" in "\n".join(messages)
+        assert log.read_text().splitlines().count("a") == 1, \
+            "a finished task must be salvaged, not recomputed"
 
     def test_on_result_fires_exactly_once_per_task(self):
         tasks = [Task(label=str(i), fn=_identity_task, args=(i,))
