@@ -10,12 +10,24 @@ from __future__ import annotations
 import resource
 import sys
 
-from repro.config import MachineConfig
+import pytest
+
+from repro.config import MachineConfig, SamplingPlan
 from repro.sim import Machine, generate_trace
 from repro.sim.functional import FunctionalSimulator
 from repro.slicer import compile_hidisc
 from repro.telemetry import LifecycleCollector, MemorySink, Telemetry
-from repro.workloads import FieldWorkload
+from repro.workloads import FieldWorkload, large_workload
+
+#: The sampled-vs-full showcase cell: the large raytrace instance is big
+#: enough (~460k dynamic instructions) that full detailed simulation of
+#: the hidisc model takes seconds, and regular enough that the default
+#: error budget holds without densification — the honest setting for the
+#: >= 10x cycles/sec claim the two scenarios below substantiate.
+_LARGE_BENCH = "raytrace"
+_LARGE_MODE = "hidisc"
+_LARGE_PLAN = SamplingPlan(interval_length=80_000, detail_length=2_000,
+                           warmup_length=1_000)
 
 
 def _peak_rss_bytes() -> int:
@@ -157,6 +169,53 @@ def test_prepare_warm_run_cache(benchmark, tmp_path):
     work = benchmark(run)
     benchmark.extra_info["cache_hits"] = cache.hits
     assert work > 0 and cache.hits > 0
+
+
+@pytest.fixture(scope="module")
+def large_compiled():
+    """One shared compilation of the large-scale showcase benchmark."""
+    from repro.experiments import prepare
+
+    return prepare(large_workload(_LARGE_BENCH), MachineConfig())
+
+
+def test_large_workload_full_detail(benchmark, large_compiled):
+    """Full detailed timing of one large-workload cell — the denominator
+    of the sampled-speedup claim (compare cycles/sec against
+    test_large_workload_sampled in the same snapshot)."""
+    from repro.experiments import run_model
+
+    config = MachineConfig()
+
+    def run():
+        return run_model(large_compiled, config, _LARGE_MODE).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["trace_length"] = len(large_compiled.decoupled_trace)
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
+
+
+def test_large_workload_sampled(benchmark, large_compiled):
+    """The same cell through the sampled-interval driver.  The snapshot's
+    cycles_per_second for this scenario must be >= 10x the full-detail
+    scenario's (the extrapolated cycle count stands in for the simulated
+    cycles, as it deviates from the full run by well under the 3%
+    error budget)."""
+    from repro.experiments import run_model
+
+    config = MachineConfig()
+
+    def run():
+        result = run_model(large_compiled, config, _LARGE_MODE,
+                           sampling=_LARGE_PLAN)
+        assert result.sampled and not result.sampling["exact"]
+        return result.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["trace_length"] = len(large_compiled.decoupled_trace)
+    benchmark.extra_info["peak_rss_bytes"] = _peak_rss_bytes()
 
 
 def test_cache_access_rate(benchmark):

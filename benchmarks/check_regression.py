@@ -1,21 +1,23 @@
 """CI benchmark gate: fail on a large throughput regression.
 
 Compares a fresh pytest-benchmark run against the checked-in baseline
-(``benchmarks/baseline.json``, written by ``--update``) and exits non-zero
-if any scenario's throughput dropped by more than the tolerance (default
-25%).  The compared statistic is each scenario's *minimum* round time, not
-the mean: on a shared or frequency-scaled CI box the mean wanders by tens
-of percent between consecutive runs, while the best round is stable — and
-a structural slowdown (an accidentally quadratic loop, a de-optimised hot
-path) moves the minimum just as surely as the mean.  Improvements and new
-scenarios pass; a scenario present in the baseline but missing from the
-run fails (a silently skipped benchmark would otherwise hide a regression
-forever).
+(``benchmarks/baseline.json``, written by ``--update-baseline``) and exits
+non-zero if any scenario's throughput dropped by more than the tolerance
+(default 25%).  The compared statistic is each scenario's *minimum* round
+time, not the mean: on a shared or frequency-scaled CI box the mean
+wanders by tens of percent between consecutive runs, while the best round
+is stable — and a structural slowdown (an accidentally quadratic loop, a
+de-optimised hot path) moves the minimum just as surely as the mean.
+Improvements pass; a mismatch in *either* direction between the baseline
+and the run fails with a :class:`BaselineMismatch` naming the scenarios —
+a scenario missing from the run would silently hide a regression forever,
+and a scenario missing from the baseline is simply not gated yet (rebase
+with ``--update-baseline`` after adding one).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py            # gate
-    PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
+    PYTHONPATH=src python benchmarks/check_regression.py                    # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update-baseline  # rebase
 
 """
 
@@ -32,6 +34,33 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_TOLERANCE = 0.25
 
 
+class BaselineMismatch(Exception):
+    """The run and ``baseline.json`` disagree about which scenarios exist.
+
+    Raised (never a bare ``KeyError``) when a scenario ran that the
+    baseline does not gate, or a gated scenario did not run; the message
+    names every offender and the remediation.
+    """
+
+    def __init__(self, missing_from_baseline: list[str],
+                 missing_from_run: list[str]):
+        self.missing_from_baseline = sorted(missing_from_baseline)
+        self.missing_from_run = sorted(missing_from_run)
+        parts = []
+        if self.missing_from_baseline:
+            parts.append(
+                f"scenario(s) not gated by {BASELINE_PATH.name}: "
+                + ", ".join(self.missing_from_baseline)
+                + " — record them with "
+                  "'python benchmarks/check_regression.py --update-baseline'")
+        if self.missing_from_run:
+            parts.append(
+                "baseline scenario(s) that did not run: "
+                + ", ".join(self.missing_from_run)
+                + " — a silently skipped benchmark would hide regressions")
+        super().__init__("; ".join(parts))
+
+
 def _mins(raw: dict) -> dict[str, float]:
     return {bench["name"]: bench["stats"]["min"]
             for bench in raw.get("benchmarks", [])}
@@ -39,13 +68,19 @@ def _mins(raw: dict) -> dict[str, float]:
 
 def check(current: dict[str, float], baseline: dict[str, float],
           tolerance: float) -> list[str]:
-    """Return a list of failure messages (empty = gate passes)."""
+    """Return a list of failure messages (empty = gate passes).
+
+    Raises :class:`BaselineMismatch` when the two scenario sets differ —
+    membership problems are configuration errors, not perf regressions,
+    and get a named error instead of a tolerance line.
+    """
+    missing_from_baseline = [n for n in current if n not in baseline]
+    missing_from_run = [n for n in baseline if n not in current]
+    if missing_from_baseline or missing_from_run:
+        raise BaselineMismatch(missing_from_baseline, missing_from_run)
     failures = []
     for name, base_min in sorted(baseline.items()):
-        best = current.get(name)
-        if best is None:
-            failures.append(f"{name}: present in baseline but not run")
-            continue
+        best = current[name]
         # Throughput ratio: < 1 means the scenario got slower.
         ratio = base_min / best
         if ratio < 1.0 - tolerance:
@@ -61,7 +96,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate CI on benchmark throughput vs the checked-in "
                     "baseline.")
-    parser.add_argument("--update", action="store_true",
+    parser.add_argument("--update-baseline", "--update", dest="update",
+                        action="store_true",
                         help="rewrite benchmarks/baseline.json from a "
                              "fresh run instead of gating")
     parser.add_argument("--tolerance", type=float,
@@ -81,17 +117,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if not BASELINE_PATH.exists():
-        print(f"no baseline at {BASELINE_PATH}; run with --update first",
-              file=sys.stderr)
+        print(f"no baseline at {BASELINE_PATH}; run with --update-baseline "
+              f"first", file=sys.stderr)
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())
     if args.keyword:
+        # A -k subset run only gates the scenarios it selected.
         baseline = {name: mean for name, mean in baseline.items()
                     if name in current}
-    failures = check(current, baseline, args.tolerance)
+    try:
+        failures = check(current, baseline, args.tolerance)
+    except BaselineMismatch as exc:
+        print(f"benchmark regression gate: {exc}", file=sys.stderr)
+        return 2
     for name in sorted(current):
-        marker = "  (new)" if name not in baseline else ""
-        print(f"{name:40s} {current[name] * 1e3:9.2f} ms{marker}")
+        print(f"{name:40s} {current[name] * 1e3:9.2f} ms")
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -29,13 +29,14 @@ from .config import (
     CacheConfig,
     CoreConfig,
     MachineConfig,
+    SamplingPlan,
     TelemetryConfig,
 )
 from .errors import ReproError
 from .slicer import compile_hidisc
 from .telemetry import Telemetry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheConfig",
@@ -45,6 +46,7 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "SamplingPlan",
     "Telemetry",
     "TelemetryConfig",
     "__version__",

@@ -177,6 +177,50 @@ class TelemetryConfig:
             raise ConfigError("heartbeat_interval must be >= 0")
 
 
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Schedule for SMARTS-style sampled timing simulation.
+
+    The post-warmup trace is divided into sampling periods of
+    ``interval_length`` dynamic instructions.  Inside each period one
+    window of ``detail_length`` instructions runs through the full timing
+    machine (preceded by ``warmup_length`` instructions of detailed
+    execution whose statistics are discarded); everything outside the
+    detailed windows is fast-forwarded functionally while a lightweight
+    probe keeps the caches and the branch predictor warm.  The window
+    position is drawn independently per period (stratified sampling —
+    a fixed offset aliases with periodic program structure); ``seed``
+    fixes those draws, so a given (workload, config, plan) triple is
+    fully deterministic.  ``error_budget`` is the relative 95% CI the
+    extrapolated cycle count must meet: the driver densifies the
+    schedule (halving the interval, or jumping straight to the density
+    the measured variance predicts) until the CI fits, degrading to
+    exact full-detail simulation when sampling cannot win.
+    """
+
+    interval_length: int = 20_000
+    detail_length: int = 2_000
+    warmup_length: int = 1_000
+    seed: int = 2003
+    error_budget: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.interval_length < 1:
+            raise ConfigError("sampling interval_length must be >= 1")
+        if not (0 < self.detail_length <= self.interval_length):
+            raise ConfigError(
+                "sampling detail_length must be in [1, interval_length]; got "
+                f"{self.detail_length} with interval {self.interval_length}"
+            )
+        if self.warmup_length < 0:
+            raise ConfigError("sampling warmup_length must be >= 0")
+        if not (0.0 < self.error_budget < 1.0):
+            raise ConfigError(
+                "sampling error_budget is a relative CI target and must be "
+                f"in (0, 1); got {self.error_budget}"
+            )
+
+
 # Table 1 cache defaults.
 DEFAULT_L1 = CacheConfig(sets=256, block_bytes=32, ways=4, latency=1, name="L1D")
 DEFAULT_L2 = CacheConfig(sets=1024, block_bytes=64, ways=4, latency=12, name="L2")

@@ -87,6 +87,17 @@ class VerificationError(SimulationError):
         super().__init__(message + detail)
 
 
+class SamplingError(SimulationError):
+    """Sampled simulation was requested in an unsupported combination.
+
+    Fault injection and the co-simulation oracle both need every cycle
+    simulated in detail (faults key off absolute event ordinals; the
+    oracle replays the full commit stream), so combining them with a
+    :class:`~repro.config.SamplingPlan` raises this instead of silently
+    producing results that look verified but are not.
+    """
+
+
 class MemoryFault(SimulationError):
     """Out-of-range or misaligned memory access."""
 

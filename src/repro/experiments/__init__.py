@@ -26,6 +26,7 @@ from .runner import (
     BenchmarkResults,
     CompiledWorkload,
     build_machine,
+    model_pieces,
     prepare,
     run_benchmark,
     run_model,
@@ -58,6 +59,7 @@ __all__ = [
     "figure9",
     "ledger_path",
     "locked_append",
+    "model_pieces",
     "new_run_id",
     "prepare",
     "prepare_cached",

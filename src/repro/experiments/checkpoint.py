@@ -34,7 +34,7 @@ import tempfile
 from collections.abc import Sequence
 from pathlib import Path
 
-from ..config import MachineConfig
+from ..config import MachineConfig, SamplingPlan
 from ..telemetry import metrics, spans
 from ..workloads import Workload
 from .cache import (
@@ -51,13 +51,20 @@ _CELL_SEP = "__"
 
 
 def suite_key(config: MachineConfig, workloads: Sequence[Workload],
-              modes: Sequence[str]) -> str:
-    """Content-addressed identity of one suite grid."""
+              modes: Sequence[str],
+              sampling: "SamplingPlan | None" = None) -> str:
+    """Content-addressed identity of one suite grid.
+
+    *sampling* (a :class:`~repro.config.SamplingPlan`, or ``None`` for
+    full-detail runs) is part of the identity: sampled and full results —
+    and results from different plans — land in different checkpoint
+    directories and can never alias.
+    """
     from .. import __version__
 
     text = "\x1f".join(
         ("hidisc-suite", __version__, config_fingerprint(config),
-         ",".join(modes))
+         ",".join(modes), f"sampling={sampling!r}")
         + tuple(workload_fingerprint(w) for w in workloads)
     )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -79,8 +86,9 @@ class SuiteCheckpoint:
     @classmethod
     def for_suite(cls, cache: RunCache, config: MachineConfig,
                   workloads: Sequence[Workload],
-                  modes: Sequence[str]) -> "SuiteCheckpoint":
-        key = suite_key(config, workloads, modes)
+                  modes: Sequence[str],
+                  sampling: "SamplingPlan | None" = None) -> "SuiteCheckpoint":
+        key = suite_key(config, workloads, modes, sampling=sampling)
         return cls(cache.root / SUITES_DIR / key)
 
     # ------------------------------------------------------------------

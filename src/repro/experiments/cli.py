@@ -54,8 +54,8 @@ import sys
 import time
 from dataclasses import replace
 
-from ..config import MachineConfig, TelemetryConfig
-from ..errors import InterruptedRun
+from ..config import MachineConfig, SamplingPlan, TelemetryConfig
+from ..errors import ConfigError, InterruptedRun
 from ..telemetry import (
     ChromeTraceSink,
     Heartbeat,
@@ -87,7 +87,7 @@ from .ledger import (
     render_run_report,
     render_runs_list,
 )
-from .models import MODEL_ORDER
+from .models import MODEL_ORDER, sampling_label
 from .reporting import render_run_stats, write_json
 from .runner import run_model
 from .suite import run_suite
@@ -222,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "JSON, JSONL, or (lifecycle only) a Konata "
                                 "pipeline-viewer log (default: chrome for "
                                 "'trace', kanata for 'lifecycle')")
-    profiling.add_argument("--sample-interval", type=_non_negative,
+    profiling.add_argument("--occupancy-interval", type=_non_negative,
                            default=128, metavar="CYCLES",
                            help="occupancy sampling period in cycles, "
                                 "0 disables (default 128)")
@@ -238,6 +238,41 @@ def build_parser() -> argparse.ArgumentParser:
     profiling.add_argument("--top", type=_positive, default=12, metavar="N",
                            help="rows in the critical-path table "
                                 "(default 12)")
+    defaults = SamplingPlan()
+    sampling = parser.add_argument_group(
+        "sampling options",
+        "SMARTS-style sampled simulation (repro.sim.sampling): "
+        "fast-forward by functional warming, simulate short detailed "
+        "windows, extrapolate cycles with a measured confidence "
+        "interval.  Valid for suite-family commands and 'stats'; "
+        "mutually exclusive with --verify and 'faults'.")
+    sampling.add_argument("--sample", action="store_true",
+                          help="run every timing simulation through the "
+                               "sampled-interval driver (results carry "
+                               "sampled=True plus the exact schedule and "
+                               "error bars)")
+    sampling.add_argument("--sample-interval", type=_positive, default=None,
+                          metavar="N",
+                          help="sampling period in trace positions "
+                               f"(default {defaults.interval_length})")
+    sampling.add_argument("--sample-detail", type=_positive, default=None,
+                          metavar="N",
+                          help="detailed-window length per period "
+                               f"(default {defaults.detail_length})")
+    sampling.add_argument("--sample-warmup", type=_positive, default=None,
+                          metavar="N",
+                          help="detailed warm-up positions before each "
+                               f"window (default {defaults.warmup_length})")
+    sampling.add_argument("--sample-error-budget", type=float, default=None,
+                          metavar="FRAC",
+                          help="relative 95%% CI target on cycles; the "
+                               "driver densifies the schedule (or degrades "
+                               "to exact simulation) until it is met "
+                               f"(default {defaults.error_budget})")
+    sampling.add_argument("--sample-seed", type=int, default=None,
+                          metavar="SEED",
+                          help="schedule-offset RNG seed "
+                               f"(default {defaults.seed})")
     fuzzing = parser.add_argument_group(
         "fuzz options", "differential program fuzzing (repro.fuzz)")
     fuzzing.add_argument("--runs", type=_positive, default=50, metavar="N",
@@ -361,6 +396,37 @@ def _run_bench(args, payload: dict) -> int:
     return 0
 
 
+#: Commands that accept --sample (grid/sweep runs plus single-run stats).
+_SAMPLED_COMMANDS = frozenset(
+    {"table2", "figure8", "figure9", "figure10", "all", "suite", "stats"}
+)
+
+#: The --sample-* tuning flags and the SamplingPlan fields they override.
+_SAMPLE_TUNING = (
+    ("sample_interval", "interval_length"),
+    ("sample_detail", "detail_length"),
+    ("sample_warmup", "warmup_length"),
+    ("sample_error_budget", "error_budget"),
+    ("sample_seed", "seed"),
+)
+
+
+def _sampling_plan(args) -> SamplingPlan | None:
+    """The SamplingPlan the flags describe, or None when --sample is off.
+
+    ``SamplingPlan.__post_init__`` validates the combination (positive
+    lengths, detail + warmup fitting inside the interval, budget in
+    (0, 1)), so nonsense flag combinations fail at parse time, not three
+    benchmarks into a grid.
+    """
+    if not args.sample:
+        return None
+    overrides = {field: getattr(args, attr)
+                 for attr, field in _SAMPLE_TUNING
+                 if getattr(args, attr) is not None}
+    return SamplingPlan(**overrides)
+
+
 def _non_negative(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -387,7 +453,7 @@ def _profile_single(args, config: MachineConfig, progress,
                  f"({compiled.work} dynamic instructions); "
                  f"simulating {args.model} ...")
     return run_model(compiled, config, args.model, telemetry=telemetry,
-                     verify=args.verify)
+                     verify=args.verify, sampling=_sampling_plan(args))
 
 
 def _run_faults(args, config: MachineConfig, progress,
@@ -505,7 +571,7 @@ def _run_lifecycle(args, config: MachineConfig, progress,
         jsonl_path=out if fmt == "jsonl" else None,
     )
     heartbeat = Heartbeat(args.heartbeat) if args.heartbeat else None
-    telemetry = Telemetry(cpi=True, sample_interval=args.sample_interval,
+    telemetry = Telemetry(cpi=True, sample_interval=args.occupancy_interval,
                           lifecycle=lifecycle, heartbeat=heartbeat)
     result = _profile_single(args, config, progress, telemetry, cache)
     telemetry.close()
@@ -794,6 +860,27 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
                      "'hidisc serve' cannot run with --no-cache")
     if args.trace_format == "kanata" and args.command != "lifecycle":
         parser.error("--format kanata is only valid for 'hidisc lifecycle'")
+    tuning = [f"--{attr.replace('_', '-')}" for attr, _ in _SAMPLE_TUNING
+              if getattr(args, attr) is not None]
+    if tuning and not args.sample:
+        noun = "makes" if len(tuning) == 1 else "make"
+        parser.error(f"{', '.join(tuning)} only {noun} sense together "
+                     f"with --sample")
+    if args.sample:
+        if args.command not in _SAMPLED_COMMANDS:
+            parser.error(f"--sample is not valid for '{args.command}' "
+                         f"(sampled runs work for "
+                         f"{', '.join(sorted(_SAMPLED_COMMANDS))}; "
+                         f"'trace'/'lifecycle'/'faults' need every cycle "
+                         f"simulated in detail)")
+        if args.verify:
+            parser.error("--sample and --verify are mutually exclusive: "
+                         "the co-simulation oracle needs the full commit "
+                         "stream")
+        try:
+            _sampling_plan(args)
+        except ConfigError as exc:
+            parser.error(f"invalid sampling plan: {exc}")
 
 
 def _finalize(args, argv, config: MachineConfig, cache: RunCache | None,
@@ -916,7 +1003,7 @@ def _dispatch(args, config: MachineConfig, progress,
 
     if args.command == "stats":
         telemetry = Telemetry.from_config(
-            TelemetryConfig(cpi=True, sample_interval=args.sample_interval,
+            TelemetryConfig(cpi=True, sample_interval=args.occupancy_interval,
                             heartbeat_interval=args.heartbeat)
         )
         result = _profile_single(args, config, progress, telemetry, cache)
@@ -927,7 +1014,7 @@ def _dispatch(args, config: MachineConfig, progress,
         fmt = args.trace_format or "chrome"
         out = args.out or "hidisc_trace.json"
         telemetry = Telemetry.from_config(
-            TelemetryConfig(cpi=True, sample_interval=args.sample_interval,
+            TelemetryConfig(cpi=True, sample_interval=args.occupancy_interval,
                             trace_format=fmt,
                             heartbeat_interval=args.heartbeat),
             trace_path=out,
@@ -983,12 +1070,15 @@ def _dispatch(args, config: MachineConfig, progress,
     if args.command in ("table2", "figure8", "figure9", "all", "suite"):
         suite = run_suite(config, quick=args.quick, seed=args.seed,
                           progress=progress, jobs=args.jobs, cache=cache,
-                          verify=args.verify, resume=args.resume)
+                          verify=args.verify, resume=args.resume,
+                          sampling=_sampling_plan(args))
         payload["suite"] = suite.to_payload()
         if args.command == "suite":
             for bench in suite.benchmarks.values():
                 for result in bench.results.values():
-                    print(result.summary())
+                    label = sampling_label(result)
+                    suffix = f"  [{label}]" if label != "full" else ""
+                    print(result.summary() + suffix)
             print(f"\nsuite of {len(suite.benchmarks)} benchmarks in "
                   f"{suite.elapsed_seconds:.1f}s "
                   f"(mean HiDISC speedup "
@@ -1010,7 +1100,8 @@ def _dispatch(args, config: MachineConfig, progress,
     if args.command in ("figure10", "all"):
         fig10 = figure10(config, quick=args.quick, seed=args.seed,
                          progress=progress, compiled=compiled,
-                         jobs=args.jobs, cache=cache)
+                         jobs=args.jobs, cache=cache,
+                         sampling=_sampling_plan(args))
         payload["figure10"] = {
             "latencies": list(fig10.latencies),
             "ipc": fig10.ipc,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import FIGURE10_LATENCIES, MachineConfig
+from ..config import FIGURE10_LATENCIES, MachineConfig, SamplingPlan
 from ..errors import SimulationError
 from .cache import RunCache, compile_key
 from .models import MODEL_LABELS, MODEL_ORDER, PAPER
@@ -80,6 +80,7 @@ def figure10(
     jobs: int = 1,
     cache: RunCache | None = None,
     task_timeout: float | None = None,
+    sampling: SamplingPlan | None = None,
 ) -> Figure10:
     """Run the latency sweep.
 
@@ -92,6 +93,9 @@ def figure10(
 
     ``jobs > 1`` fans preparation and the (benchmark, latency, model)
     cells out over worker processes; *cache* memoizes compilations.
+    *sampling* runs every sweep cell through the sampled-interval driver
+    (``hidisc figure10 --sample`` — the sampled-vs-full recipe in
+    EXPERIMENTS.md compares the two sweeps point by point).
     """
     base_config = config if config is not None else MachineConfig()
     from ..workloads import get_workload
@@ -144,7 +148,7 @@ def figure10(
         tasks = [
             Task(label=f"{name}@{l2}/{mem}/{mode}", fn=run_model_task,
                  args=(refs[name], base_config.with_latency(l2, mem),
-                       mode, False))
+                       mode, False, False, sampling))
             for name, l2, mem, mode in cells
         ]
         try:
@@ -163,6 +167,6 @@ def figure10(
             if progress:
                 progress(f"  {name} @ L2={l2_latency}, mem={memory_latency}")
             for mode in modes:
-                result = run_model(cw, point, mode)
+                result = run_model(cw, point, mode, sampling=sampling)
                 out.ipc[name][mode].append(result.ipc)
     return out

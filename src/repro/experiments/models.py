@@ -32,6 +32,25 @@ MODEL_CHARACTERISTICS = {
 }
 
 
+def sampling_label(result) -> str:
+    """Render a :class:`~repro.sim.RunResult`'s sampling provenance.
+
+    Full-detail runs render as ``"full"``; sampled runs name the interval
+    count and the measured 95% confidence interval so tables and ledger
+    records can distinguish an exact number from an extrapolated one.
+    """
+    if not getattr(result, "sampled", False):
+        return "full"
+    meta = result.sampling or {}
+    if meta.get("exact"):
+        reason = ("variance degraded to full detail"
+                  if meta.get("refinements") else "region fits one interval")
+        return f"sampled (exact: {reason})"
+    ci = meta.get("cycles_rel_ci95", 0.0)
+    return (f"sampled ({meta.get('intervals', '?')} intervals, "
+            f"±{100.0 * ci:.2f}% CI95)")
+
+
 @dataclass(frozen=True)
 class PaperNumbers:
     """The paper's reported values, for paper-vs-measured reporting."""

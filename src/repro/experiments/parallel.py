@@ -191,7 +191,7 @@ def prepare_task(workload: Workload, config: MachineConfig,
 
 @_observed
 def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool,
-                   verify: bool = False):
+                   verify: bool = False, sampling=None):
     """Worker: replay one compiled benchmark through one machine model.
 
     *compiled* is a :class:`CompiledWorkload` or a :func:`share_compiled`
@@ -206,7 +206,7 @@ def run_model_task(compiled, config: MachineConfig, mode: str, cpi: bool,
 
     telemetry = Telemetry(cpi=True) if cpi else None
     return run_model(_resolve_compiled(compiled), config, mode,
-                     telemetry=telemetry, verify=verify)
+                     telemetry=telemetry, verify=verify, sampling=sampling)
 
 
 # ----------------------------------------------------------------------

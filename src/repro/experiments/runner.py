@@ -14,8 +14,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..config import MachineConfig
-from ..errors import SimulationError
+from ..config import MachineConfig, SamplingPlan
+from ..errors import SamplingError, SimulationError
 from ..sim import (
     CmasPlan,
     Machine,
@@ -23,6 +23,7 @@ from ..sim import (
     RunResult,
     build_cmas_plan,
     build_queue_plan,
+    run_sampled,
 )
 from ..sim.functional import DecoupledFunctionalSimulator, DynInstr, FunctionalSimulator
 from ..slicer import HidiscCompilation, compile_hidisc, validate_separation
@@ -144,42 +145,51 @@ def _prepare(workload: Workload, config: MachineConfig,
     )
 
 
+def model_pieces(cw: CompiledWorkload, mode: str) -> dict:
+    """Which program/trace/plans/warmup each machine model replays.
+
+    The single place that knows the mode -> artefact mapping;
+    :func:`build_machine` (full runs, oracle, fault campaigns) and the
+    sampled path of :func:`run_model` both consume it.
+    """
+    comp = cw.compilation
+    if mode == "superscalar":
+        return dict(program=comp.original, trace=cw.trace,
+                    warmup_pos=cw.warmup_pos_original)
+    if mode == "cp_ap":
+        return dict(program=comp.decoupled, trace=cw.decoupled_trace,
+                    queue_plan=cw.queue_plan,
+                    warmup_pos=cw.warmup_pos_decoupled)
+    if mode == "cp_cmp":
+        return dict(program=comp.original, trace=cw.trace,
+                    cmas_plan=cw.cmas_plan_original,
+                    warmup_pos=cw.warmup_pos_original)
+    if mode == "hidisc":
+        return dict(program=comp.decoupled, trace=cw.decoupled_trace,
+                    queue_plan=cw.queue_plan,
+                    cmas_plan=cw.cmas_plan_decoupled,
+                    warmup_pos=cw.warmup_pos_decoupled)
+    raise SimulationError(f"unknown model {mode!r}")
+
+
 def build_machine(cw: CompiledWorkload, config: MachineConfig, mode: str,
                   telemetry: Telemetry | None = None,
                   faults=None, record_commits: bool = False) -> Machine:
-    """Construct (without running) the machine for one grid cell.
-
-    The single place that knows which program/trace/plans each model
-    needs; :func:`run_model`, the co-simulation oracle and the
-    fault-injection campaigns all build their machines here.
-    """
-    common = dict(work_instructions=cw.work, benchmark=cw.name,
-                  telemetry=telemetry, faults=faults,
-                  record_commits=record_commits)
-    comp = cw.compilation
-    if mode == "superscalar":
-        return Machine(config, comp.original, cw.trace, mode=mode,
-                       warmup_pos=cw.warmup_pos_original, **common)
-    if mode == "cp_ap":
-        return Machine(config, comp.decoupled, cw.decoupled_trace,
-                       mode=mode, queue_plan=cw.queue_plan,
-                       warmup_pos=cw.warmup_pos_decoupled, **common)
-    if mode == "cp_cmp":
-        return Machine(config, comp.original, cw.trace, mode=mode,
-                       cmas_plan=cw.cmas_plan_original,
-                       warmup_pos=cw.warmup_pos_original, **common)
-    if mode == "hidisc":
-        return Machine(config, comp.decoupled, cw.decoupled_trace,
-                       mode=mode, queue_plan=cw.queue_plan,
-                       cmas_plan=cw.cmas_plan_decoupled,
-                       warmup_pos=cw.warmup_pos_decoupled, **common)
-    raise SimulationError(f"unknown model {mode!r}")
+    """Construct (without running) the machine for one grid cell."""
+    pieces = model_pieces(cw, mode)
+    program = pieces.pop("program")
+    trace = pieces.pop("trace")
+    return Machine(config, program, trace, mode=mode,
+                   work_instructions=cw.work, benchmark=cw.name,
+                   telemetry=telemetry, faults=faults,
+                   record_commits=record_commits, **pieces)
 
 
 def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
               telemetry: Telemetry | None = None,
               verify: bool = False, faults=None,
-              max_cycles: int | None = None) -> RunResult:
+              max_cycles: int | None = None,
+              sampling: SamplingPlan | None = None) -> RunResult:
     """Replay one compiled benchmark through one machine model.
 
     ``verify=True`` runs under the co-simulation oracle
@@ -187,10 +197,29 @@ def run_model(cw: CompiledWorkload, config: MachineConfig, mode: str,
     the functional state diff, raising
     :class:`~repro.errors.VerificationError` on any divergence.  *faults*
     attaches a :class:`~repro.resilience.FaultInjector`; *max_cycles*
-    overrides ``config.max_cycles`` for this run only.
+    overrides ``config.max_cycles`` for this run only.  *sampling* runs the
+    cell through :func:`repro.sim.sampling.run_sampled` (extrapolated
+    result, ``sampled=True``); it is mutually exclusive with *verify* and
+    *faults*, which both need every cycle simulated in detail.
     """
     with spans.span("run_model", cat="simulate", benchmark=cw.name,
-                    mode=mode, verify=verify):
+                    mode=mode, verify=verify, sampled=sampling is not None):
+        if sampling is not None:
+            if verify:
+                raise SamplingError(
+                    f"{cw.name}/{mode}: the co-simulation oracle needs the "
+                    f"full commit stream — run --verify without --sample"
+                )
+            if faults is not None:
+                raise SamplingError(
+                    f"{cw.name}/{mode}: fault injection keys off absolute "
+                    f"event ordinals, which sampling skips — fault runs "
+                    f"force full-detail mode"
+                )
+            return run_sampled(config, sampling, mode=mode,
+                               work_instructions=cw.work, benchmark=cw.name,
+                               telemetry=telemetry, max_cycles=max_cycles,
+                               **model_pieces(cw, mode))
         if verify:
             from ..resilience.oracle import verified_run
 

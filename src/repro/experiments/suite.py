@@ -13,7 +13,7 @@ import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
-from ..config import MachineConfig
+from ..config import MachineConfig, SamplingPlan
 from ..errors import ConfigError, SimulationError
 from ..telemetry import Telemetry, metrics, spans
 from ..workloads import Workload, all_workloads, quick_workloads
@@ -71,7 +71,7 @@ class SuiteResult:
         for name, bench in self.benchmarks.items():
             entry: dict = {"work_instructions": bench.compiled.work, "models": {}}
             for mode, result in bench.results.items():
-                entry["models"][mode] = {
+                cell = {
                     "cycles": result.cycles,
                     "ipc": result.ipc,
                     "l1_demand_miss_rate": result.l1_demand_miss_rate,
@@ -81,6 +81,10 @@ class SuiteResult:
                     "cpi_stack": result.cpi_stacks,
                     "cmas_threads": result.cmas_threads_forked,
                 }
+                if result.sampled:
+                    cell["sampled"] = True
+                    cell["sampling"] = result.sampling
+                entry["models"][mode] = cell
             out["benchmarks"][name] = entry
         return out
 
@@ -100,6 +104,7 @@ def run_suite(
     verify: bool = False,
     resume: bool = False,
     on_cell: CellFn | None = None,
+    sampling: SamplingPlan | None = None,
 ) -> SuiteResult:
     """Prepare and simulate every benchmark on every model.
 
@@ -132,7 +137,20 @@ def run_suite(
     :class:`~repro.experiments.interrupt.GracefulInterrupt` a SIGINT/
     SIGTERM therefore stops the suite *between* cells with every
     completed cell safely on disk.
+
+    *sampling* runs every grid cell through the sampled-interval driver
+    (:mod:`repro.sim.sampling`): results carry ``sampled=True`` and the
+    extrapolation metadata, and the checkpoint directory is keyed on the
+    plan so sampled and full cells never alias.  Mutually exclusive with
+    *verify* (the oracle needs the full commit stream).
     """
+    if sampling is not None and verify:
+        from ..errors import SamplingError
+
+        raise SamplingError(
+            "--verify needs full-detail simulation; drop --sample to "
+            "referee runs with the co-simulation oracle"
+        )
     config = config if config is not None else MachineConfig()
     if workloads is None:
         workloads = quick_workloads(seed) if quick else all_workloads(seed)
@@ -143,7 +161,8 @@ def run_suite(
             "drop --no-cache or pass a RunCache"
         )
     checkpoint = (
-        SuiteCheckpoint.for_suite(cache, config, workloads, modes)
+        SuiteCheckpoint.for_suite(cache, config, workloads, modes,
+                                  sampling=sampling)
         if cache is not None else None
     )
     if resume and progress:
@@ -166,7 +185,7 @@ def run_suite(
                                 cpi=cpi_stacks, jobs=jobs, cache=cache,
                                 task_timeout=task_timeout, verify=verify,
                                 checkpoint=checkpoint, resume=resume,
-                                on_cell=on_cell)
+                                on_cell=on_cell, sampling=sampling)
             suite.elapsed_seconds = time.perf_counter() - start
             return suite
         for workload in workloads:
@@ -189,7 +208,8 @@ def run_suite(
                 resumed = result is not None
                 if result is None:
                     result = run_model(compiled, config, mode,
-                                       telemetry=telemetry, verify=verify)
+                                       telemetry=telemetry, verify=verify,
+                                       sampling=sampling)
                     metrics.inc("cells_completed")
                     if checkpoint is not None:
                         checkpoint.store(workload.name, mode, result)
@@ -223,7 +243,8 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
                         verify: bool = False,
                         checkpoint: SuiteCheckpoint | None = None,
                         resume: bool = False,
-                        on_cell: CellFn | None = None) -> None:
+                        on_cell: CellFn | None = None,
+                        sampling: SamplingPlan | None = None) -> None:
     """Fan the suite grid out over worker processes (deterministic order).
 
     Each completed cell is checkpointed from the parent the moment its
@@ -268,7 +289,7 @@ def _run_suite_parallel(suite: SuiteResult, workloads: list[Workload],
             Task(label=f"{grid[index][0].name}/{grid[index][1]}",
                  fn=run_model_task,
                  args=(share_compiled(grid[index][0]), config,
-                       grid[index][1], cpi, verify))
+                       grid[index][1], cpi, verify, sampling))
             for index in missing
         ]
 

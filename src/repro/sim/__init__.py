@@ -22,6 +22,7 @@ from .machine import RunResult
 from .memory import MainMemory
 from .profiler import CacheProfile, PcProfile, profile_cache
 from .queues import ArchQueue, QueueSet, QueueStats
+from .sampling import WarmupProbe, build_schedule, run_sampled
 from .superscalar import run_superscalar
 from .trace import (
     ROUTE_AP,
@@ -64,11 +65,14 @@ __all__ = [
     "ROUTE_CP",
     "RunResult",
     "TraceBundle",
+    "WarmupProbe",
     "build_cmas_plan",
     "build_queue_plan",
+    "build_schedule",
     "generate_decoupled_trace",
     "generate_trace",
     "load_program",
     "profile_cache",
+    "run_sampled",
     "run_superscalar",
 ]

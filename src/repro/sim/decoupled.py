@@ -71,6 +71,10 @@ class Machine:
         telemetry: Telemetry | None = None,
         faults=None,
         record_commits: bool = False,
+        start_pos: int = 0,
+        end_pos: int | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        predictor: BranchPredictor | None = None,
     ):
         if mode not in MODES:
             raise SimulationError(f"unknown machine mode {mode!r}")
@@ -91,8 +95,26 @@ class Machine:
         )
         self.benchmark = benchmark
 
-        self.hierarchy = MemoryHierarchy.from_config(config)
-        self.predictor = BranchPredictor(config.branch)
+        # Interval (sampled) execution: replay only trace positions in
+        # [start_pos, end_pos).  The memory hierarchy and branch predictor
+        # may be *injected* so that a sampling driver can carry their warm
+        # micro-architectural state across fast-forward gaps (see
+        # repro.sim.sampling); a fresh pair is built for normal full runs.
+        self._fetch_end = len(trace) if end_pos is None else end_pos
+        if not (0 <= start_pos <= self._fetch_end <= len(trace)):
+            raise SimulationError(
+                f"invalid trace window [{start_pos}, {self._fetch_end}) for "
+                f"a {len(trace)}-instruction trace"
+            )
+
+        self.hierarchy = (
+            hierarchy if hierarchy is not None
+            else MemoryHierarchy.from_config(config)
+        )
+        self.predictor = (
+            predictor if predictor is not None
+            else BranchPredictor(config.branch)
+        )
         self.ldq_capacity = config.queues.ldq_entries
         self.sdq_capacity = config.queues.sdq_entries
 
@@ -130,6 +152,17 @@ class Machine:
         cmas_extra = cmas_plan.total_prefetch_instructions if self.cmp_enabled else 0
         self.complete_at: list[int | None] = [None] * (len(trace) + cmas_extra)
         self._next_cmas_gid = len(trace)
+        if start_pos > 0 or self._fetch_end < len(trace):
+            # Windowed replay: dependence edges reaching outside the window
+            # (value producers before it, and LDQ/SDQ *capacity* edges that
+            # point forward past it — queue-slot reuse ignores fetch order)
+            # are treated as already satisfied at cycle 0.  This is the
+            # standard sampling approximation: cross-window stalls are
+            # dropped, which the detailed-warmup prefix re-establishes.
+            complete_at = self.complete_at
+            complete_at[:start_pos] = [0] * start_pos
+            tail = len(trace) - self._fetch_end
+            complete_at[self._fetch_end:len(trace)] = [0] * tail
 
         #: static decode table indexed by PC (see repro.sim.decode) — every
         #: per-instruction property the scheduler needs, resolved once.
@@ -158,7 +191,7 @@ class Machine:
             self.cmp = TimingCore("CMP", config.cmp, self)
             self.cores.append(self.cmp)
 
-        self._fetch_pos = 0
+        self._fetch_pos = start_pos
         self._waiting_branch: int | None = None  # gid of mispredicted branch
         self._threads_forked = 0
         self._threads_dropped = 0
@@ -168,7 +201,28 @@ class Machine:
         # the cycle counter re-anchored when fetch crosses `warmup_pos`.
         self._warmup_pos = warmup_pos
         self._measure_start_cycle = 0
-        self._in_warmup = warmup_pos > 0
+        self._in_warmup = warmup_pos > start_pos
+        #: Windowed runs that end mid-trace stop at the cycle fetch crosses
+        #: the window end instead of draining: measurement then spans
+        #: fetch-crossing to fetch-crossing, so the in-flight tail is
+        #: excluded symmetrically with the warmed-up pipeline at the start
+        #: (a drain would charge the tail's full miss latency with nothing
+        #: left to overlap it — a per-window overestimate).
+        self._stop_at_fetch_end = (
+            end_pos is not None and end_pos < len(trace)
+        )
+        if self.cmp_enabled and start_pos > 0:
+            # Windowed replay: re-establish the CMP's steady-state backlog.
+            # Threads triggered before the window whose covered miss lands
+            # inside it are pending on the real machine's CMP at this point
+            # (trigger fired up to `trigger_distance` positions ago, slice
+            # not yet retired).  Forking them at cycle 0 rebuilds the
+            # context chain and queue pressure that delay in-window
+            # prefetches — without it every window prefetch issues
+            # instantly at its trigger and lands unrealistically early.
+            pending = self.cmas_plan.pending_at(start_pos)
+            if pending:
+                self._fork_threads(pending, -1)
 
     # ------------------------------------------------------------------
     # Services used by the cores.
@@ -191,8 +245,8 @@ class Machine:
 
     @property
     def fetch_done(self) -> bool:
-        """True once the front end has consumed the whole trace."""
-        return self._fetch_pos >= len(self.trace)
+        """True once the front end has consumed its trace window."""
+        return self._fetch_pos >= self._fetch_end
 
     def queue_delta(self, name: str, delta: int, now: int) -> None:
         """Telemetry tap: a core moved LDQ/SDQ/SAQ occupancy by *delta*."""
@@ -207,7 +261,7 @@ class Machine:
     def _separator_step(self, now: int) -> int:
         trace = self.trace
         decoded = self.decoded
-        n = len(trace)
+        n = self._fetch_end
         if self._waiting_branch is not None:
             resolved = self.complete_at[self._waiting_branch]
             if resolved is None or now < resolved + self.config.branch.mispredict_penalty:
@@ -273,10 +327,13 @@ class Machine:
         for core in self.cores:
             from .core import CoreStats
 
-            # Keep `committed` (needed for drain checks is not — commit is
-            # window-based); reset the diagnostic counters only.
+            # Full runs keep `committed` (their results describe the whole
+            # execution); windowed sampling runs reset it so the per-window
+            # counts cover exactly the measured region and extrapolate
+            # cleanly (warmup-prefix commits would otherwise inflate them).
             stats = CoreStats()
-            stats.committed = core.stats.committed
+            if not self._stop_at_fetch_end:
+                stats.committed = core.stats.committed
             core.stats = stats
             if self._tel_cpi:
                 # Reset CPI stacks with the cycle counter: classification of
@@ -287,8 +344,18 @@ class Machine:
     def _fork_threads(self, thread_indices: list[int], now: int) -> None:
         max_contexts = self.config.cmas.max_contexts
         faults = self.faults
+        fetch_end = self._fetch_end
+        windowed = self._stop_at_fetch_end
         for index in thread_indices:
             thread = self.cmas_plan.threads[index]
+            if windowed and thread.miss_pos >= fetch_end:
+                # The covered miss lies beyond this sampling window, so its
+                # prefetch cannot affect measured cycles — and the slice's
+                # beyond-window producers are pre-filled complete, which
+                # would let it issue an unrealistically early burst.  Skip
+                # (not "drop": the full run forks it, a later window will
+                # see its effect through the warm hierarchy).
+                continue
             if faults is not None and faults.on_fork():
                 # Injected trigger suppression: degrade exactly like a
                 # dropped thread (fewer prefetches, identical results).
@@ -345,7 +412,7 @@ class Machine:
         if max_cycles is None:
             max_cycles = self.config.max_cycles
         now = 0
-        n = len(self.trace)
+        n = self._fetch_end
         cores = self.cores
         cpi_on = self._tel_cpi
         sampler = self._sampler
@@ -367,8 +434,9 @@ class Machine:
                 else:
                     core._committed_now = 0
 
-            main_done = self._fetch_pos >= n and all(
-                c.drained for c in cores if c.name != "CMP"
+            main_done = self._fetch_pos >= n and (
+                self._stop_at_fetch_end
+                or all(c.drained for c in cores if c.name != "CMP")
             )
             if main_done:
                 # The final cycle is the completion boundary, not a spent

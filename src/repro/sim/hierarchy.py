@@ -140,6 +140,79 @@ class MemoryHierarchy:
         return self.access(address, is_write=False, now=now, is_prefetch=True)
 
     # ------------------------------------------------------------------
+    def warm(self, address: int, is_write: bool = False) -> None:
+        """Timing-free functional warming (sampled fast-forward).
+
+        Updates L1/L2 tag and LRU state exactly as a demand access would —
+        misses allocate, writes set dirty bits — but charges no latency and
+        touches neither the MSHR table nor the statistics counters beyond
+        the caches' own (which the next measurement window resets anyway).
+        This is what keeps cache state honest across fast-forward gaps.
+        """
+        result = self.l1.access(address, is_write=is_write, is_prefetch=False)
+        if not result.hit:
+            self.l2.access(address, is_write=False, is_prefetch=False)
+
+    def warm_many(self, events: list[tuple[int, bool]]) -> None:
+        """Batched :meth:`warm` over ``(address, is_write)`` pairs.
+
+        Identical tag/LRU/dirty/prefetched-flag transitions, but inlined
+        over both levels with no per-access result objects and no
+        statistics counters (functional warming always precedes a
+        measurement window, which resets statistics anyway).  This loop is
+        the fast-forward inner loop of sampled simulation — its speed sets
+        the ceiling on the sampled-vs-full speedup.
+        """
+        from .cache import _Line
+
+        l1, l2 = self.l1, self.l2
+        l1_sets, l2_sets = l1._sets, l2._sets
+        l1_bb, l2_bb = l1.block_bits, l2.block_bits
+        l1_sb, l2_sb = l1.set_bits, l2.set_bits
+        l1_mask, l2_mask = l1.set_mask, l2.set_mask
+        l1_ways, l2_ways = l1.config.ways, l2.config.ways
+        for address, is_write in events:
+            block = address >> l1_bb
+            lines = l1_sets[block & l1_mask]
+            tag = block >> l1_sb
+            for pos, line in enumerate(lines):
+                if line.tag == tag:
+                    if pos:
+                        lines.insert(0, lines.pop(pos))
+                    if is_write:
+                        line.dirty = True
+                    line.prefetched = False
+                    break
+            else:
+                if len(lines) >= l1_ways:
+                    lines.pop()
+                lines.insert(0, _Line(tag=tag, dirty=is_write))
+                block2 = address >> l2_bb
+                lines2 = l2_sets[block2 & l2_mask]
+                tag2 = block2 >> l2_sb
+                for pos, line in enumerate(lines2):
+                    if line.tag == tag2:
+                        if pos:
+                            lines2.insert(0, lines2.pop(pos))
+                        line.prefetched = False
+                        break
+                else:
+                    if len(lines2) >= l2_ways:
+                        lines2.pop()
+                    lines2.insert(0, _Line(tag=tag2))
+
+    def settle(self) -> None:
+        """Drain in-flight fill state between detailed intervals.
+
+        Each sampled interval restarts the machine clock at 0, so fill
+        ready-times recorded during the previous interval are meaningless;
+        the lines themselves stay resident (allocation happened at access
+        time), only the outstanding-miss bookkeeping is dropped.
+        """
+        self._inflight.clear()
+        self._inflight_prefetch.clear()
+
+    # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         self.stats = HierarchyStats()
         self.l1.stats = CacheStats()

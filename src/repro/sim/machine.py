@@ -49,6 +49,15 @@ class RunResult:
     faults_injected: dict[str, int] = field(default_factory=dict)
     #: True once the co-simulation oracle passed this run (``--verify``).
     verified: bool = False
+    #: True when this result was *extrapolated* from sampled detailed
+    #: intervals rather than measured over every cycle (see
+    #: :mod:`repro.sim.sampling`).
+    sampled: bool = False
+    #: Sampling metadata: the :class:`~repro.config.SamplingPlan`
+    #: parameters, the exact fast-forward/warmup/detail schedule, the
+    #: sampled-vs-total position counts and the measured 95% confidence
+    #: interval on cycles (relative).  Empty for full-detail runs.
+    sampling: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:

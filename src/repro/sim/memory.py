@@ -22,6 +22,15 @@ PAGE_BITS = 16
 PAGE_SIZE = 1 << PAGE_BITS
 PAGE_MASK = PAGE_SIZE - 1
 
+#: Precompiled scalar codecs for the widths the ISA knows.  Loads follow
+#: the :meth:`MainMemory.load` convention (raw unsigned below 8 bytes,
+#: canonical signed for 8); stores write masked low bytes, so the
+#: unsigned 8-byte packer pairs with a pre-masked value.
+_UNPACKERS = {1: struct.Struct("<B"), 4: struct.Struct("<I"),
+              8: struct.Struct("<q")}
+_PACKERS = {1: struct.Struct("<B"), 4: struct.Struct("<I"),
+            8: struct.Struct("<Q")}
+
 
 class MainMemory:
     """Sparse paged memory with byte/word/double access helpers."""
@@ -50,31 +59,89 @@ class MainMemory:
     # ------------------------------------------------------------------
     # Raw bulk access (loader, workload generators, result extraction).
     # ------------------------------------------------------------------
+    def _page_chunks(self, address: int, total: int):
+        """Yield ``(page, start, size)`` spans covering *total* bytes.
+
+        The common page-walking loop under every bulk operation; callers
+        bound-check *address*/*total* first.
+        """
+        offset = 0
+        while offset < total:
+            page = self._page_for(address + offset)
+            start = (address + offset) & PAGE_MASK
+            size = min(PAGE_SIZE - start, total - offset)
+            yield page, start, size
+            offset += size
+
     def write_bytes(self, address: int, payload: bytes) -> None:
         """Bulk write, page by page (no alignment requirement)."""
         if address < 0 or address + len(payload) > self.size_bytes:
             raise MemoryFault(address)
+        src = memoryview(payload)
         offset = 0
-        while offset < len(payload):
-            page = self._page_for(address + offset)
-            start = (address + offset) & PAGE_MASK
-            chunk = min(PAGE_SIZE - start, len(payload) - offset)
-            page[start : start + chunk] = payload[offset : offset + chunk]
-            offset += chunk
+        for page, start, size in self._page_chunks(address, len(payload)):
+            page[start : start + size] = src[offset : offset + size]
+            offset += size
 
     def read_bytes(self, address: int, nbytes: int) -> bytes:
         """Bulk read, page by page (no alignment requirement)."""
         if address < 0 or address + nbytes > self.size_bytes:
             raise MemoryFault(address)
-        out = bytearray()
+        out = bytearray(nbytes)
         offset = 0
-        while offset < nbytes:
-            page = self._page_for(address + offset)
-            start = (address + offset) & PAGE_MASK
-            chunk = min(PAGE_SIZE - start, nbytes - offset)
-            out += page[start : start + chunk]
-            offset += chunk
+        for page, start, size in self._page_chunks(address, nbytes):
+            out[offset : offset + size] = memoryview(page)[start : start + size]
+            offset += size
         return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Aligned block access (array readback, bulk initialisation).
+    # ------------------------------------------------------------------
+    def load_block(self, address: int, count: int, nbytes: int = 8) -> list[int]:
+        """Aligned load of *count* scalars of width *nbytes*.
+
+        Value convention matches :meth:`load` element-wise: canonical
+        signed values for 8-byte scalars, raw unsigned bits below that.
+        One precompiled :class:`struct.Struct` decodes each page-sized
+        span through a memoryview — no per-element ``int.from_bytes``,
+        no page lookup per scalar.
+        """
+        codec = _UNPACKERS.get(nbytes)
+        if codec is None:
+            raise MemoryFault(address, f"unsupported scalar width {nbytes}")
+        total = count * nbytes
+        self._check(address, nbytes)
+        if address + total > self.size_bytes:
+            raise MemoryFault(address + total - nbytes)
+        out: list[int] = []
+        # PAGE_SIZE is a multiple of every scalar width and the base is
+        # aligned, so spans never split a scalar across pages.
+        for page, start, size in self._page_chunks(address, total):
+            view = memoryview(page)[start : start + size]
+            out.extend(v for (v,) in codec.iter_unpack(view))
+        return out
+
+    def store_block(self, address: int, values, nbytes: int = 8) -> None:
+        """Aligned store of a sequence of scalars of width *nbytes*.
+
+        Each value's low *nbytes* bytes are written (the element-wise
+        analogue of :meth:`store`), packed through the precompiled
+        codecs straight into the backing pages.
+        """
+        codec = _PACKERS.get(nbytes)
+        if codec is None:
+            raise MemoryFault(address, f"unsupported scalar width {nbytes}")
+        total = len(values) * nbytes
+        self._check(address, nbytes)
+        if address + total > self.size_bytes:
+            raise MemoryFault(address + total - nbytes)
+        mask = (1 << (nbytes * 8)) - 1
+        pack_into = codec.pack_into
+        index = 0
+        for page, start, size in self._page_chunks(address, total):
+            for pos in range(start, start + size, nbytes):
+                pack_into(page, pos, values[index] & mask)
+                index += 1
 
     # ------------------------------------------------------------------
     # Aligned scalar access (the functional simulator's hot path).

@@ -1,0 +1,425 @@
+"""SMARTS-style sampled timing simulation (fast-forward + detail windows).
+
+Full detailed simulation replays every dynamic instruction through the
+timing machine.  For large workloads most of those cycles only re-confirm
+steady-state behaviour, so this module simulates in detail only short
+periodic windows and *extrapolates*:
+
+1. **Fast-forward** — between detailed windows, nothing is simulated
+   cycle-by-cycle.  The trace already exists (timing simulation here is
+   trace-driven), so fast-forwarding costs one pass over a pre-extracted
+   event stream instead of a functional re-execution.
+2. **Functional warming** — while fast-forwarding, the memory/branch
+   event stream is replayed into the *shared* cache hierarchy
+   (:meth:`~repro.sim.hierarchy.MemoryHierarchy.warm`) and branch
+   predictor (:meth:`~repro.sim.branch.BranchPredictor.resolve`), so
+   long-lived micro-architectural state never goes cold.
+3. **Detailed warmup** — each measured window is preceded by
+   ``warmup_length`` instructions of full detailed execution whose
+   statistics are discarded (the machine's existing measurement-window
+   mechanism), re-establishing short-lived state: pipeline occupancy,
+   queue contents, outstanding misses.
+4. **Measure + extrapolate** — per-window cycles, cache/branch/core
+   statistics and CPI stacks are summed and scaled by
+   ``total_positions / sampled_positions`` (a ratio estimator), with a
+   95% confidence interval measured from the inter-window variance.
+
+The approximation dropped on the floor is cross-window dependence edges:
+an interval machine treats producers before its window (and queue-slot
+reuse edges past it) as complete at cycle 0.  The detailed warmup prefix
+exists precisely to absorb that.
+
+Faults and the co-simulation oracle are incompatible with sampling by
+construction (both need every event simulated); callers enforce that with
+:class:`~repro.errors.SamplingError` before reaching this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from bisect import bisect_left
+from dataclasses import fields as dataclass_fields
+
+from ..asm.program import Program
+from ..config import MachineConfig, SamplingPlan
+from ..telemetry import Telemetry
+from .branch import BranchPredictor, BranchStats
+from .decode import CTRL_COND, CTRL_DIRECT, decode_program
+from .decoupled import Machine
+from .functional import DynInstr
+from .hierarchy import MemoryHierarchy
+from .machine import RunResult
+from .trace import CmasPlan, QueuePlan
+
+#: two-sided 95% normal quantile for the extrapolation error bars.
+_Z95 = 1.96
+
+#: two-sided 95% Student-t quantiles by degrees of freedom: with only a
+#: handful of sampled windows the normal quantile understates the error
+#: bars, and the adaptive driver would stop densifying too early.
+_T95 = (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042)
+
+
+def _t95(df: int) -> float:
+    """Two-sided 95% t quantile (normal quantile beyond 30 d.o.f.)."""
+    if df < 1:
+        return _Z95
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return _Z95
+
+
+class WarmupProbe:
+    """Pre-extracted memory/branch event stream for functional warming.
+
+    One pass over (decoded program, trace) builds compact position-sorted
+    streams of the events that touch the hierarchy or the predictor;
+    replaying any position range is then two bisects plus tight loops —
+    no decode, no interpretation, no timing.  Memory and branch state are
+    independent structures, so the two streams replay separately (batched
+    through :meth:`~repro.sim.hierarchy.MemoryHierarchy.warm_many` for
+    the cache side, which dominates).
+    """
+
+    __slots__ = ("mem_positions", "mem_events", "br_positions", "br_events")
+
+    def __init__(self, program: Program, trace: list[DynInstr]):
+        decoded = decode_program(program.text)
+        # Per-pc classification (0 skip, 1 load, 2 store, 3 cond,
+        # 4 indirect) so the trace loop does one list index per dynamic
+        # instruction instead of DecodedOp attribute chains.  Direct jumps
+        # never consult predictor state; they classify as skip.
+        cls = [0] * len(decoded)
+        for pc, op in enumerate(decoded):
+            if op.is_mem:
+                cls[pc] = 2 if op.is_store else 1
+            elif op.ctrl_kind == CTRL_COND:
+                cls[pc] = 3
+            elif op.ctrl_kind and op.ctrl_kind != CTRL_DIRECT:
+                cls[pc] = 4
+        mem_positions: list[int] = []
+        mem_events: list[tuple[int, bool]] = []
+        br_positions: list[int] = []
+        br_events: list[tuple] = []
+        mem_pos_append = mem_positions.append
+        mem_append = mem_events.append
+        br_pos_append = br_positions.append
+        br_append = br_events.append
+        for pos, dyn in enumerate(trace):
+            k = cls[dyn.pc]
+            if not k:
+                continue
+            if k <= 2:
+                addr = dyn.addr
+                if addr is not None:
+                    mem_pos_append(pos)
+                    mem_append((addr, k == 2))
+            elif k == 3:
+                pc = dyn.pc
+                br_pos_append(pos)
+                br_append((pc, dyn.next_pc != pc + 1, dyn.next_pc, "cond"))
+            else:
+                br_pos_append(pos)
+                br_append((dyn.pc, True, dyn.next_pc, "indirect"))
+        self.mem_positions = mem_positions
+        self.mem_events = mem_events
+        self.br_positions = br_positions
+        self.br_events = br_events
+
+    def replay(self, lo: int, hi: int, hierarchy: MemoryHierarchy,
+               predictor: BranchPredictor) -> None:
+        """Warm *hierarchy*/*predictor* with events in positions [lo, hi)."""
+        i = bisect_left(self.mem_positions, lo)
+        j = bisect_left(self.mem_positions, hi)
+        hierarchy.warm_many(self.mem_events[i:j])
+        i = bisect_left(self.br_positions, lo)
+        j = bisect_left(self.br_positions, hi)
+        events = self.br_events
+        resolve = predictor.resolve
+        for k in range(i, j):
+            ev = events[k]
+            resolve(ev[0], ev[1], ev[2], ev[3])
+
+
+def build_schedule(trace_length: int, warmup_pos: int,
+                   plan: SamplingPlan) -> list[tuple[int, int, int]]:
+    """The detailed windows as ``(fetch_start, measure_start, end)`` triples.
+
+    The measured region ``[warmup_pos, trace_length)`` is cut into periods
+    of ``plan.interval_length`` positions; one ``plan.detail_length`` window
+    per period runs detailed, placed at a seed-derived random offset drawn
+    *independently per period* (stratified sampling).  A single shared
+    offset — classic systematic sampling — aliases with periodic program
+    structure: every window lands at the same loop phase, giving estimates
+    that agree tightly with each other and are all wrong the same way.
+    Per-period offsets keep the coverage guarantee and make the
+    inter-window variance an honest error signal.  Each window's fetch
+    starts up to ``plan.warmup_length`` positions early — clamped so
+    windows never overlap — and measurement starts at the window proper.
+    An empty list means the region is small enough to simulate exactly.
+    """
+    region_start, region_end = warmup_pos, trace_length
+    region = region_end - region_start
+    if region <= plan.interval_length:
+        return []
+    rng = random.Random(
+        f"{plan.seed}/{plan.interval_length}/{plan.detail_length}")
+    windows: list[tuple[int, int, int]] = []
+    prev_end = 0
+    period_start = region_start
+    while period_start < region_end:
+        offset = rng.randrange(plan.interval_length - plan.detail_length + 1)
+        d_start = period_start + offset
+        if d_start >= region_end:
+            break
+        d_end = min(d_start + plan.detail_length, region_end)
+        w_start = max(prev_end, d_start - plan.warmup_length, 0)
+        windows.append((w_start, d_start, d_end))
+        prev_end = d_end
+        period_start += plan.interval_length
+    return windows
+
+
+def _scaled_dataclass(cls, parts: list, scale: float):
+    """Field-wise sum of integer-counter dataclasses, scaled and rounded."""
+    out = cls()
+    for f in dataclass_fields(cls):
+        total = sum(getattr(part, f.name) for part in parts)
+        setattr(out, f.name, round(total * scale))
+    return out
+
+
+def _scaled_counter_dicts(parts: list[dict], scale: float) -> dict:
+    """Key-wise sum of flat ``str -> int`` dicts, scaled and rounded."""
+    out: dict = {}
+    for part in parts:
+        for key, value in part.items():
+            out[key] = out.get(key, 0) + value
+    return {key: round(value * scale) for key, value in out.items()}
+
+
+def _scale_stack(bucket_sums: dict[str, int], target: int,
+                 scale: float) -> dict[str, int]:
+    """Scale one core's CPI stack so it sums *exactly* to *target* cycles.
+
+    Largest-remainder rounding: floor every scaled bucket, then hand the
+    residual cycles to the buckets with the largest fractional parts
+    (name-ordered tiebreak, so the result is deterministic).
+    """
+    raw = {bucket: value * scale for bucket, value in bucket_sums.items()}
+    out = {bucket: int(value) for bucket, value in raw.items()}
+    short = target - sum(out.values())
+    if short > 0:
+        order = sorted(raw, key=lambda b: (out[b] - raw[b], b))
+        for bucket in order[:short]:
+            out[bucket] += 1
+    return out
+
+
+def _rel_ci95(samples: list[float]) -> float:
+    """Relative half-width of the 95% CI on the mean of *samples*.
+
+    Student-t quantile (not normal): sampled runs often have only a
+    handful of windows, where the normal quantile understates the bars.
+    """
+    k = len(samples)
+    if k < 2:
+        return 0.0
+    mean = sum(samples) / k
+    if mean == 0.0:
+        return 0.0
+    var = sum((x - mean) ** 2 for x in samples) / (k - 1)
+    return _t95(k - 1) * (var ** 0.5) / (k ** 0.5) / mean
+
+
+def run_sampled(
+    config: MachineConfig,
+    plan: SamplingPlan,
+    *,
+    program: Program,
+    trace: list[DynInstr],
+    mode: str,
+    queue_plan: QueuePlan | None = None,
+    cmas_plan: CmasPlan | None = None,
+    work_instructions: int | None = None,
+    benchmark: str = "",
+    warmup_pos: int = 0,
+    telemetry: Telemetry | None = None,
+    max_cycles: int | None = None,
+) -> RunResult:
+    """Run one (workload, model) cell sampled; returns an extrapolated
+    :class:`~repro.sim.machine.RunResult` with ``sampled=True``.
+
+    Machine construction arguments mirror :class:`~repro.sim.decoupled
+    .Machine`; the sampling driver owns the shared hierarchy/predictor and
+    the fast-forward schedule.  Small regions (one sampling period or less)
+    fall back to exact detailed simulation of the whole region — still
+    tagged ``sampled=True`` with ``"exact": True`` metadata, so cache keys
+    and payloads stay honest about how the number was produced.
+    """
+    plan_meta = {
+        "interval_length": plan.interval_length,
+        "detail_length": plan.detail_length,
+        "warmup_length": plan.warmup_length,
+        "seed": plan.seed,
+        "error_budget": plan.error_budget,
+    }
+    region = len(trace) - warmup_pos
+
+    def run_exact(refinements: int) -> RunResult:
+        machine = Machine(config, program, trace, mode,
+                          queue_plan=queue_plan, cmas_plan=cmas_plan,
+                          work_instructions=work_instructions,
+                          benchmark=benchmark, warmup_pos=warmup_pos,
+                          telemetry=telemetry)
+        result = machine.run(max_cycles)
+        result.sampled = True
+        result.sampling = {
+            "plan": plan_meta,
+            "exact": True,
+            "refinements": refinements,
+            "schedule": [[warmup_pos, warmup_pos, len(trace)]],
+            "intervals": 1,
+            "sampled_positions": region,
+            "total_positions": region,
+            "trace_length": len(trace),
+            "cycles_rel_ci95": 0.0,
+            "component_rel_ci95": {},
+        }
+        return result
+
+    schedule = build_schedule(len(trace), warmup_pos, plan)
+    if not schedule:
+        return run_exact(0)
+
+    probe = WarmupProbe(program, trace)
+
+    # Adaptive densification (the plan's `error_budget` is a variance
+    # target, SMARTS-style): run the schedule, measure the 95% CI of
+    # cycles-per-position across windows, and if it exceeds the budget
+    # halve the sampling interval and resample.  Once the next halving
+    # would cross 50% detail coverage, exact simulation is both cheaper
+    # and error-free — degrade to it instead.
+    interval_length = plan.interval_length
+    refinements = 0
+    while True:
+        hierarchy = MemoryHierarchy.from_config(config)
+        predictor = BranchPredictor(config.branch)
+        intervals: list[RunResult] = []
+        probe_pos = 0
+        for w_start, d_start, d_end in schedule:
+            probe.replay(probe_pos, w_start, hierarchy, predictor)
+            hierarchy.settle()
+            machine = Machine(config, program, trace, mode,
+                              queue_plan=queue_plan, cmas_plan=cmas_plan,
+                              work_instructions=d_end - d_start,
+                              benchmark=benchmark, warmup_pos=d_start,
+                              telemetry=telemetry,
+                              start_pos=w_start, end_pos=d_end,
+                              hierarchy=hierarchy, predictor=predictor)
+            intervals.append(machine.run(max_cycles))
+            # Detach the stats objects the interval result now owns: the
+            # next probe replay and interval mutate fresh ones instead.
+            hierarchy.reset_stats()
+            predictor.stats = BranchStats()
+            probe_pos = d_end
+
+        positions = [d_end - d_start for _, d_start, d_end in schedule]
+        cycles_ci = _rel_ci95(
+            [r.cycles / pos for r, pos in zip(intervals, positions)])
+        if cycles_ci <= plan.error_budget:
+            break
+        refinements += 1
+        # The CI shrinks like 1/sqrt(windows), so meeting the budget takes
+        # about k*(ci/budget)^2 windows.  Jump to (at most) the predicted
+        # interval instead of halving blindly — a hopelessly high-variance
+        # workload then degrades to exact after ONE probe round rather
+        # than re-running ever-denser schedules first.
+        k = len(schedule)
+        needed = max(2 * k,
+                     math.ceil(k * (cycles_ci / plan.error_budget) ** 2))
+        interval_length = min(interval_length // 2, region // needed)
+        if interval_length < 2 * (plan.detail_length + plan.warmup_length):
+            # Denser than ~50% detail+warmup coverage: exact simulation
+            # is both cheaper and error-free.
+            return run_exact(refinements)
+        schedule = build_schedule(
+            len(trace), warmup_pos,
+            dataclasses.replace(plan, interval_length=interval_length))
+
+    sampled_positions = sum(positions)
+    scale = region / sampled_positions
+    total_sampled_cycles = sum(r.cycles for r in intervals)
+    cycles = round(total_sampled_cycles * scale)
+
+    cpi_stacks: dict[str, dict[str, int]] = {}
+    if all(r.cpi_stacks for r in intervals):
+        per_core: dict[str, dict[str, int]] = {}
+        for r in intervals:
+            for core, stack in r.cpi_stacks.items():
+                sums = per_core.setdefault(core, {})
+                for bucket, value in stack.items():
+                    sums[bucket] = sums.get(bucket, 0) + value
+        cpi_stacks = {core: _scale_stack(sums, cycles, scale)
+                      for core, sums in per_core.items()}
+
+    component_ci: dict[str, float] = {}
+    if cpi_stacks:
+        buckets = sorted({b for r in intervals
+                          for stack in r.cpi_stacks.values() for b in stack})
+        for bucket in buckets:
+            rates = [
+                sum(stack.get(bucket, 0) for stack in r.cpi_stacks.values())
+                / pos
+                for r, pos in zip(intervals, positions)
+            ]
+            component_ci[bucket] = _rel_ci95(rates)
+
+    result = RunResult(
+        machine=mode,
+        benchmark=benchmark,
+        cycles=cycles,
+        total_cycles=cycles,
+        work_instructions=(work_instructions if work_instructions is not None
+                           else len(trace)),
+        committed=_scaled_counter_dicts([r.committed for r in intervals],
+                                        scale),
+        l1=_scaled_dataclass(type(intervals[0].l1),
+                             [r.l1 for r in intervals], scale),
+        l2=_scaled_dataclass(type(intervals[0].l2),
+                             [r.l2 for r in intervals], scale),
+        memory=_scaled_dataclass(type(intervals[0].memory),
+                                 [r.memory for r in intervals], scale),
+        branch=_scaled_dataclass(BranchStats,
+                                 [r.branch for r in intervals], scale),
+        core_stats={
+            core: _scaled_counter_dicts(
+                [r.core_stats.get(core, {}) for r in intervals], scale)
+            for core in intervals[0].core_stats
+        },
+        cmas_threads_forked=round(
+            sum(r.cmas_threads_forked for r in intervals) * scale),
+        cmas_threads_dropped=round(
+            sum(r.cmas_threads_dropped for r in intervals) * scale),
+        cpi_stacks=cpi_stacks,
+        sampled=True,
+        sampling={
+            "plan": plan_meta,
+            "exact": False,
+            "refinements": refinements,
+            "interval_length_effective": interval_length,
+            "schedule": [list(window) for window in schedule],
+            "intervals": len(schedule),
+            "sampled_positions": sampled_positions,
+            "total_positions": region,
+            "trace_length": len(trace),
+            "cycles_rel_ci95": cycles_ci,
+            "component_rel_ci95": component_ci,
+        },
+    )
+    return result

@@ -156,10 +156,45 @@ class CmasPlan:
     threads: list[CmasThread] = field(default_factory=list)
     #: trigger trace position -> list of thread indices firing there.
     by_trigger: dict[int, list[int]] = field(default_factory=dict)
+    #: caches for the derived views below (plans are built once and then
+    #: reused across many Machine constructions — windowed sampling builds
+    #: one machine per interval).
+    _total_prefetch: int | None = field(default=None, repr=False,
+                                        compare=False)
+    _by_miss: list[tuple[int, int]] | None = field(default=None, repr=False,
+                                                   compare=False)
+    _max_distance: int = field(default=0, repr=False, compare=False)
 
     @property
     def total_prefetch_instructions(self) -> int:
-        return sum(len(t.positions) for t in self.threads)
+        if self._total_prefetch is None:
+            self._total_prefetch = sum(len(t.positions) for t in self.threads)
+        return self._total_prefetch
+
+    def pending_at(self, pos: int) -> list[int]:
+        """Thread indices triggered before *pos* whose covered miss is at
+        or past it — the "in flight on the CMP" set a sampling window must
+        re-establish.  A trigger fires at most ``miss_pos - trigger_pos``
+        positions before its miss, so candidates have a miss in the band
+        ``[pos, pos + max_distance]``; a bisect over a miss-sorted view
+        finds them without scanning every thread.
+        """
+        if self._by_miss is None:
+            self._by_miss = sorted(
+                (t.miss_pos, i) for i, t in enumerate(self.threads))
+            self._max_distance = max(
+                (t.miss_pos - t.trigger_pos for t in self.threads),
+                default=0)
+        from bisect import bisect_left, bisect_right
+
+        by_miss = self._by_miss
+        threads = self.threads
+        lo = bisect_left(by_miss, (pos, -1))
+        hi = bisect_right(by_miss, (pos + self._max_distance, len(threads)))
+        out = [index for _, index in by_miss[lo:hi]
+               if threads[index].trigger_pos < pos]
+        out.sort()
+        return out
 
 
 def build_cmas_plan(

@@ -29,6 +29,7 @@ from .base import Workload, check_ap_executable
 from .dm import DmWorkload
 from .field import FieldWorkload
 from .hashjoin import HashJoinWorkload
+from .large import LARGE_SPECS, large_workload, large_workloads
 from .neighborhood import NeighborhoodWorkload
 from .pointer import PointerWorkload
 from .raytrace import RayTraceWorkload
@@ -100,6 +101,7 @@ __all__ = [
     "DmWorkload",
     "FieldWorkload",
     "HashJoinWorkload",
+    "LARGE_SPECS",
     "NeighborhoodWorkload",
     "PointerWorkload",
     "RayTraceWorkload",
@@ -114,6 +116,8 @@ __all__ = [
     "check_ap_executable",
     "describe_spec",
     "get_workload",
+    "large_workload",
+    "large_workloads",
     "quick_workloads",
     "workloads_from_spec",
 ]

@@ -1,0 +1,73 @@
+"""Large-scale workload family: the sampled-simulation stress tier.
+
+Each entry scales its benchmark family to **at least 50x the quick-suite
+dynamic instruction count** (hundreds of thousands to about a million
+instructions per benchmark).  At that scale full detailed simulation of
+one (benchmark, model) cell takes long enough that the sampled driver
+(:mod:`repro.sim.sampling`) is the practical way to run grids — which is
+exactly what this tier exists to exercise: enough sampling periods for
+the extrapolation to converge, with workload generation still cheap
+enough to run inside benchmarks and CI.
+
+Every workload is built through :class:`~repro.workloads.spec.WorkloadSpec`
+(the family-independent parameter layer), so the content-addressed run
+cache, suite checkpoints and the ledger key these workloads exactly like
+any other spec-built instance.
+"""
+
+from __future__ import annotations
+
+from .base import Workload
+from .dm import DmWorkload
+from .field import FieldWorkload
+from .hashjoin import HashJoinWorkload
+from .neighborhood import NeighborhoodWorkload
+from .pointer import PointerWorkload
+from .raytrace import RayTraceWorkload
+from .spec import WorkloadSpec
+from .spmv import SpmvWorkload
+from .transitive import TransitiveWorkload
+from .update import UpdateWorkload
+
+_FAMILIES: dict[str, type[Workload]] = {
+    cls.name: cls for cls in (
+        DmWorkload, RayTraceWorkload, PointerWorkload, UpdateWorkload,
+        FieldWorkload, NeighborhoodWorkload, TransitiveWorkload,
+        HashJoinWorkload, SpmvWorkload,
+    )
+}
+
+#: Per-family spec overrides producing >= 50x the quick-suite dynamic
+#: instruction counts (asserted by tests/test_sampling.py).  Primary
+#: sizes grow where footprint drives the access pattern; ``intensity``
+#: scales the secondary work axis (queries / sequences / rays / probes).
+LARGE_SPECS: dict[str, WorkloadSpec] = {
+    "dm": WorkloadSpec(size=16384, intensity=8.0),
+    "raytrace": WorkloadSpec(size=2048, intensity=5.0),
+    "pointer": WorkloadSpec(size=65536, chase_depth=4, intensity=5.0),
+    "update": WorkloadSpec(size=65536, chase_depth=4, intensity=5.0),
+    "field": WorkloadSpec(size=48000),
+    "neighborhood": WorkloadSpec(size=160),
+    "transitive": WorkloadSpec(size=72, intensity=7.0),
+    "hashjoin": WorkloadSpec(size=4096, intensity=9.0),
+    "spmv": WorkloadSpec(size=3700, chase_depth=8),
+}
+
+
+def large_workloads(seed: int = 2003) -> list[Workload]:
+    """The whole suite at large (sampling-tier) scale."""
+    return [large_workload(name, seed=seed) for name in LARGE_SPECS]
+
+
+def large_workload(name: str, seed: int = 2003) -> Workload:
+    """One benchmark at large scale (``KeyError`` for unknown names)."""
+    if name not in LARGE_SPECS:
+        raise KeyError(
+            f"unknown large workload {name!r}; choose from "
+            f"{sorted(LARGE_SPECS)}")
+    spec = LARGE_SPECS[name]
+    if seed != spec.seed:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=seed)
+    return _FAMILIES[name].from_spec(spec)

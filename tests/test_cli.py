@@ -29,11 +29,51 @@ class TestParser:
         args = build_parser().parse_args(
             ["trace", "--bench", "field", "--model", "cp_ap",
              "--out", "t.json", "--format", "jsonl",
-             "--sample-interval", "64"]
+             "--occupancy-interval", "64"]
         )
         assert args.bench == "field" and args.model == "cp_ap"
         assert args.out == "t.json" and args.trace_format == "jsonl"
-        assert args.sample_interval == 64
+        assert args.occupancy_interval == 64
+
+    def test_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--sample", "--sample-interval", "40000",
+             "--sample-detail", "2000", "--sample-warmup", "500",
+             "--sample-error-budget", "0.05", "--sample-seed", "7"]
+        )
+        assert args.sample and args.sample_interval == 40000
+        assert args.sample_detail == 2000 and args.sample_warmup == 500
+        assert args.sample_error_budget == 0.05 and args.sample_seed == 7
+        defaults = build_parser().parse_args(["suite"])
+        assert not defaults.sample and defaults.sample_interval is None
+
+    def test_sampling_plan_built_from_flags(self):
+        from repro.experiments.cli import _sampling_plan
+
+        args = build_parser().parse_args(
+            ["suite", "--sample", "--sample-interval", "40000"])
+        plan = _sampling_plan(args)
+        assert plan.interval_length == 40000
+        assert plan.detail_length == 2000  # SamplingPlan default preserved
+        assert _sampling_plan(build_parser().parse_args(["suite"])) is None
+
+    def test_sample_tuning_requires_sample(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--sample-interval", "40000"])
+
+    def test_sample_conflicts_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--sample", "--verify"])
+        with pytest.raises(SystemExit):
+            main(["faults", "--sample"])
+        with pytest.raises(SystemExit):
+            main(["lifecycle", "--sample"])
+
+    def test_invalid_sampling_plan_rejected(self):
+        # detail longer than the interval violates SamplingPlan validation
+        with pytest.raises(SystemExit):
+            main(["suite", "--sample", "--sample-interval", "100",
+                  "--sample-detail", "2000"])
 
     def test_bad_bench_rejected(self):
         with pytest.raises(SystemExit):

@@ -76,6 +76,45 @@ class TestBulk:
         assert mem.touched_pages() == 1
 
 
+class TestBlocks:
+    def test_block_roundtrip_across_pages(self, mem):
+        values = [(i * 0x9E3779B97F4A7C15) & ((1 << 64) - 1) - (1 << 63)
+                  for i in range(20_000)]  # 160 KiB: spans three pages
+        base = PAGE_SIZE - 4096
+        mem.store_block(base, values, 8)
+        assert mem.load_block(base, len(values), 8) == values
+        assert mem.touched_pages() >= 3
+
+    def test_block_matches_scalar_convention(self, mem):
+        for width in (1, 4, 8):
+            base = 0x4000
+            raw = [0, 1, (1 << (width * 8)) - 1]
+            mem.store_block(base, raw, width)
+            expected = [mem.load(base + i * width, width)
+                        for i in range(len(raw))]
+            assert mem.load_block(base, len(raw), width) == expected
+
+    def test_block_masks_like_store(self, mem):
+        mem.store_block(0x5000, [-5], 8)
+        assert mem.load(0x5000, 8) == -5
+        mem.store_block(0x6000, [0x1FF], 1)
+        assert mem.load(0x6000, 1) == 0xFF
+
+    def test_block_interoperates_with_read_bytes(self, mem):
+        mem.store_block(0x7000, [0x11223344], 4)
+        assert mem.read_bytes(0x7000, 4) == bytes.fromhex("44332211")
+
+    def test_block_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.load_block(0x1001, 4, 8)  # misaligned base
+        with pytest.raises(MemoryFault):
+            mem.load_block((1 << 24) - 8, 2, 8)  # runs off the end
+        with pytest.raises(MemoryFault):
+            mem.store_block((1 << 24) - 8, [1, 2], 8)
+        with pytest.raises(MemoryFault):
+            mem.load_block(0x1000, 4, 2)  # width the ISA doesn't have
+
+
 class TestEquality:
     def test_equal_fresh(self):
         assert MainMemory(1 << 20).equal_contents(MainMemory(1 << 20))
