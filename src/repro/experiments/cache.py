@@ -52,6 +52,13 @@ ENTRY_SUFFIX = ".pkl"
 #: :mod:`repro.experiments.checkpoint`).
 SUITES_DIR = "suites"
 
+#: Subdirectory of the cache root holding the simulation service's spool
+#: (job records, event streams, results, span files — see
+#: :mod:`repro.service.queue`).  Defined here, beside the other cache
+#: layout constants, so the cache can account the service footprint
+#: without importing the service package.
+SERVICE_DIR = "service"
+
 
 def default_cache_dir() -> Path:
     """``$HIDISC_CACHE_DIR``, else ``$XDG_CACHE_HOME/hidisc``, else
@@ -203,21 +210,41 @@ class RunCache:
             return []
         return sorted(suites.rglob(f"*{ENTRY_SUFFIX}"))
 
+    def service_files(self) -> list[Path]:
+        """Files in the service spool under ``service/`` (job records,
+        event streams, results, spans, worker status)."""
+        service = self.root / SERVICE_DIR
+        if not service.is_dir():
+            return []
+        return sorted(p for p in service.rglob("*") if p.is_file())
+
     def stats(self) -> dict:
         """Store contents + this instance's traffic counters.
 
-        Accounts both halves of the on-disk footprint: the compilation
-        entries at the root *and* the per-cell suite checkpoints under
-        ``suites/`` (which ``clear()`` also removes).
+        Accounts every part of the on-disk footprint: the compilation
+        entries at the root, the per-cell suite checkpoints under
+        ``suites/`` (which ``clear()`` also removes), and the service
+        spool under ``service/`` (which ``clear()`` leaves alone — it is
+        live queue state, not a cache).
         """
         entries = self.entries()
         cells = self.suite_cells()
+        service = self.service_files()
+
+        def safe_size(path: Path) -> int:
+            try:
+                return path.stat().st_size
+            except OSError:
+                return 0
+
         return {
             "root": str(self.root),
             "entries": len(entries),
             "total_bytes": sum(p.stat().st_size for p in entries),
             "suite_cells": len(cells),
             "suite_bytes": sum(p.stat().st_size for p in cells),
+            "service_files": len(service),
+            "service_bytes": sum(safe_size(p) for p in service),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,

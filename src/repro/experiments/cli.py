@@ -22,6 +22,8 @@ Installed as the ``hidisc`` console script::
     hidisc serve --workers 2               # durable simulation service
     hidisc submit --quick --wait           # queue a suite job, await it
     hidisc jobs                            # list jobs; 'jobs <id>' inspects
+    hidisc jobs top                        # live fleet status (Ctrl-C quits)
+    hidisc jobs trace <id>                 # stitch one job's Perfetto trace
     hidisc cancel <job_id>                 # request cancellation
 
 Suite-family commands and ``faults`` stop gracefully on SIGINT/SIGTERM:
@@ -144,11 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "'clear'; for 'hidisc runs': 'list' "
                              "(default), 'show' or 'report'; for "
                              "'hidisc diff': the first payload path; for "
-                             "'hidisc jobs'/'hidisc cancel': a job id")
+                             "'hidisc jobs': a job id, 'top' or 'trace'; "
+                             "for 'hidisc cancel': a job id")
     parser.add_argument("diff_b", nargs="?", metavar="payload_b",
                         help="for 'hidisc diff': the second payload path; "
                              "for 'hidisc runs show|report': a run-id "
-                             "prefix (default: the newest run)")
+                             "prefix (default: the newest run); for "
+                             "'hidisc jobs trace': the job id (prefixes "
+                             "accepted)")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down inputs (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=2003,
@@ -352,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
     service.add_argument("--wait", action="store_true",
                          help="submit: block until the job is terminal; "
                               "exit 0 iff it completed")
+    service.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="jobs top: refresh period (default 2.0)")
+    service.add_argument("--iterations", type=_non_negative, default=0,
+                         metavar="N",
+                         help="jobs top: stop after N refreshes "
+                              "(default 0 = until Ctrl-C)")
     bench = parser.add_argument_group(
         "bench options", "simulator performance snapshots "
                          "(benchmarks/record.py)")
@@ -729,10 +741,46 @@ def _event_line(event: dict) -> str:
                                                   else "")
 
 
+def _run_jobs_trace(args, payload: dict) -> int:
+    """'jobs trace <id>': stitch one job's cross-process Perfetto trace.
+
+    Reads the spool directly (job traces are about durable history, so
+    no running daemon is required — the same cache dir the service used
+    is enough) and writes a single trace with client, queue and worker
+    lanes, plus a span digest on stdout.
+    """
+    from ..errors import ServiceError
+    from ..service import SERVICE_DIR, JobQueue, resolve_job_id, \
+        stitch_job_trace
+
+    queue = JobQueue(RunCache(args.cache_dir).root / SERVICE_DIR)
+    out = args.out or "hidisc_job_trace.json"
+    try:
+        job_id = resolve_job_id(queue, args.diff_b)
+        records, lane_names = stitch_job_trace(queue, job_id)
+    except ServiceError as exc:
+        print(f"hidisc jobs trace: {exc}", file=sys.stderr)
+        return 2
+    count = spans.write_orchestration_trace(records, out,
+                                            lane_names=lane_names)
+    digest = spans.summarize(records)
+    lanes = len(lane_names)
+    print(f"job {job_id}: {count} events across {lanes} lanes "
+          f"written to {out} — open in https://ui.perfetto.dev")
+    for cat in sorted(digest["by_category"]):
+        entry = digest["by_category"][cat]
+        print(f"  {cat:12s} {entry['count']:5d} spans "
+              f"{entry['ms']:10.1f} ms total")
+    payload["job_trace"] = {"job_id": job_id, "path": out,
+                            "events": count, "lanes": lanes,
+                            "summary": digest}
+    return 0
+
+
 def _run_service_client(args, payload: dict) -> int:
     """'submit', 'jobs' and 'cancel': thin clients for a running daemon."""
     from ..errors import BackpressureError, ServiceError
-    from ..service import ServiceClient
+    from ..service import ServiceClient, run_top
 
     client = ServiceClient(_service_url(args))
     try:
@@ -743,6 +791,9 @@ def _run_service_client(args, payload: dict) -> int:
             payload["cancel"] = response
             return 0
         if args.command == "jobs":
+            if args.cache_action == "top":
+                return run_top(client, interval=args.interval,
+                               iterations=args.iterations)
             if args.cache_action is None:
                 jobs = client.jobs()
                 payload["jobs"] = jobs
@@ -767,8 +818,11 @@ def _run_service_client(args, payload: dict) -> int:
             payload["job"] = record
             print(json.dumps(record, indent=2, sort_keys=True))
             return 0
-        # submit
-        response = client.submit(_submit_spec(args))
+        # submit — send a trace context beside the spec so the stitched
+        # job trace gets a client lane; it never affects dedup.
+        trace = {"pid": os.getpid(), "span": f"{os.getpid():x}.submit",
+                 "t_ns": time.time_ns()}
+        response = client.submit(_submit_spec(args), trace=trace)
         job_id = response["job_id"]
         payload["submit"] = response
         if response.get("created"):
@@ -843,7 +897,11 @@ def _validate(parser: argparse.ArgumentParser, args) -> None:
             parser.error("diff needs two payload paths: "
                          "hidisc diff <payload_a> <payload_b>")
     elif args.command == "jobs":
-        if args.diff_b is not None:
+        if args.cache_action == "trace":
+            if args.diff_b is None:
+                parser.error("jobs trace needs a job id: "
+                             "hidisc jobs trace <job_id>")
+        elif args.diff_b is not None:
             parser.error(f"unexpected argument {args.diff_b!r} after "
                          f"'jobs {args.cache_action}'")
     elif args.command == "cancel":
@@ -972,7 +1030,9 @@ def _dispatch(args, config: MachineConfig, progress,
             print(f"cache at {stats['root']}: {stats['entries']} entries, "
                   f"{stats['total_bytes']} bytes; suite checkpoints: "
                   f"{stats['suite_cells']} cells, "
-                  f"{stats['suite_bytes']} bytes")
+                  f"{stats['suite_bytes']} bytes; service spool: "
+                  f"{stats['service_files']} files, "
+                  f"{stats['service_bytes']} bytes")
             payload["cache"] = stats
 
     if args.command == "runs":
@@ -984,6 +1044,13 @@ def _dispatch(args, config: MachineConfig, progress,
 
     if args.command == "serve":
         code = _run_serve(args, progress, payload)
+        if args.json:
+            path = write_json(args.json, payload)
+            print(f"\nraw results written to {path}", file=sys.stderr)
+        return code
+
+    if args.command == "jobs" and args.cache_action == "trace":
+        code = _run_jobs_trace(args, payload)
         if args.json:
             path = write_json(args.json, payload)
             print(f"\nraw results written to {path}", file=sys.stderr)

@@ -237,6 +237,14 @@ def render_run_report(record: dict) -> str:
         f"{record.get('cells', 0)} cells "
         f"({record.get('cells_per_second', 0.0):.2f} cells/s)",
     ]
+    if record.get("job_id"):
+        # Service-executed suites carry their job identity (see
+        # repro.service.worker._append_ledger).
+        lines.append(
+            f"  service job {record['job_id']} on "
+            f"{record.get('worker', 'unknown worker')} "
+            f"(attempts {record.get('attempts', 0)}, "
+            f"{record.get('cells_done', 0)} cells reported)")
     metrics_snapshot = record.get("metrics", {})
     counters = metrics_snapshot.get("counters", {})
     if counters:

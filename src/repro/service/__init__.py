@@ -13,6 +13,16 @@ crash-consistency argument.
 
 from .client import ServiceClient
 from .executor import LeaseLost, execute_job
+from .observability import (
+    fleet_metrics,
+    publish_worker_status,
+    read_worker_statuses,
+    render_fleet_line,
+    render_fleet_table,
+    resolve_job_id,
+    run_top,
+    stitch_job_trace,
+)
 from .queue import SERVICE_DIR, JobQueue
 from .records import (
     KINDS,
@@ -22,6 +32,7 @@ from .records import (
     known_benchmarks,
     new_job_id,
     normalize_spec,
+    normalize_trace,
 )
 from .server import DEFAULT_PORT, ServiceServer
 from .worker import LeaseKeeper, Worker
@@ -39,8 +50,17 @@ __all__ = [
     "ServiceServer",
     "Worker",
     "execute_job",
+    "fleet_metrics",
     "job_dedup_key",
     "known_benchmarks",
     "new_job_id",
     "normalize_spec",
+    "normalize_trace",
+    "publish_worker_status",
+    "read_worker_statuses",
+    "render_fleet_line",
+    "render_fleet_table",
+    "resolve_job_id",
+    "run_top",
+    "stitch_job_trace",
 ]

@@ -61,9 +61,18 @@ class ServiceClient:
             return json.loads(response.read().decode())
 
     # ------------------------------------------------------------------
-    def submit(self, spec: dict) -> dict:
-        """POST a job spec; returns ``{job_id, state, created, submitted}``."""
-        return self._json("POST", "/jobs", spec)
+    def submit(self, spec: dict, trace: dict | None = None) -> dict:
+        """POST a job spec; returns ``{job_id, state, created, submitted}``.
+
+        *trace* is an optional client trace context
+        (``{"pid", "span", "t_ns"}``) that rides beside the spec and
+        lets ``hidisc jobs trace`` draw the submitter's lane; it never
+        affects dedup.
+        """
+        body = dict(spec)
+        if trace is not None:
+            body["trace"] = trace
+        return self._json("POST", "/jobs", body)
 
     def job(self, job_id: str) -> dict:
         """The full job record (state, attempts, error, traceback, ...)."""
@@ -81,6 +90,24 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._json("GET", "/healthz")
+
+    def fleet(self) -> dict:
+        """``GET /health`` — readiness + per-worker fleet detail.
+
+        Raises :class:`~repro.errors.ServiceError` (HTTP 503) when no
+        worker is alive; use :meth:`health` for unconditional liveness.
+        """
+        return self._json("GET", "/health")
+
+    def metrics(self) -> dict:
+        """``GET /metrics?format=json`` — the fleet metrics payload
+        (``{"metrics", "counts", "workers", ...}``)."""
+        return self._json("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode()
 
     def events(self, job_id: str, follow: bool = False,
                timeout: float | None = None) -> Iterator[dict]:

@@ -27,11 +27,13 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 
 from ..config import MachineConfig
 from ..errors import JobCancelled, ServiceError
 from ..experiments.cache import RunCache
 from ..experiments.suite import run_suite
+from ..telemetry import metrics
 from ..workloads import all_workloads, get_workload, quick_workloads
 from .queue import JobQueue
 from .records import JobRecord
@@ -78,7 +80,7 @@ def write_result(queue: JobQueue, job_id: str, payload: dict) -> str:
 def execute_job(queue: JobQueue, record: JobRecord, worker: str,
                 *, cache: RunCache | None = None,
                 should_stop=None, lease_lost=None,
-                progress=None) -> str:
+                progress=None, tracer=None) -> str:
     """Run *record*'s suite and persist its payload; returns the path.
 
     Raises :class:`JobCancelled` when the job's cancel marker appears,
@@ -87,16 +89,28 @@ def execute_job(queue: JobQueue, record: JobRecord, worker: str,
     :class:`LeaseLost` when *lease_lost* (a ``threading.Event`` fed by
     the heartbeat thread) fires, and whatever the simulation raises on a
     genuinely broken spec.  The caller maps each to the right queue
-    transition.
+    transition.  *tracer* (a :class:`~repro.telemetry.spans.SpanTracer`)
+    gets one retro-recorded span per grid cell.
     """
     spec = record.spec
     config = MachineConfig()
     cache = cache if cache is not None else RunCache()
     cell_delay = float(spec.get("cell_delay", 0.0))
+    cell_start = [time.time_ns()]
 
     def on_cell(benchmark: str, mode: str, resumed: bool) -> None:
         if lease_lost is not None and lease_lost.is_set():
             raise LeaseLost(f"lease on {record.job_id} lost mid-run")
+        now_ns = time.time_ns()
+        cell_ns = max(now_ns - cell_start[0], 0)
+        metrics.inc("job_cells_completed")
+        metrics.observe("job_cell_seconds", cell_ns / 1e9)
+        if tracer is not None:
+            tracer.record_span(f"cell {benchmark}/{mode}",
+                               cell_start[0], cell_ns, cat="cell",
+                               benchmark=benchmark, mode=mode,
+                               resumed=resumed)
+        cell_start[0] = now_ns
         queue.record_cell(record.job_id, worker)
         queue.append_event(record.job_id, "cell", benchmark=benchmark,
                            mode=mode, resumed=resumed, worker=worker)

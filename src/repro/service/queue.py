@@ -51,11 +51,19 @@ except ImportError:  # pragma: no cover
 
 from ..config import MachineConfig
 from ..errors import BackpressureError, ConfigError, ServiceError
+from ..experiments.cache import SERVICE_DIR
 from ..experiments.ledger import locked_append
-from .records import STATES, JobRecord, job_dedup_key, new_job_id, normalize_spec
+from ..telemetry import metrics
+from .records import (
+    STATES,
+    JobRecord,
+    job_dedup_key,
+    new_job_id,
+    normalize_spec,
+    normalize_trace,
+)
 
-#: Subdirectory of the run-cache root holding the whole service state.
-SERVICE_DIR = "service"
+__all__ = ["SERVICE_DIR", "JobQueue"]
 
 #: States whose records absorb duplicate submissions (a failed or
 #: quarantined job does *not* — resubmitting one is an explicit retry).
@@ -104,10 +112,19 @@ class JobQueue:
     def result_path(self, job_id: str) -> Path:
         return self.root / "results" / f"{job_id}.json"
 
+    def spans_path(self, job_id: str) -> Path:
+        return self.root / "spans" / f"{job_id}.jsonl"
+
+    def workers_dir(self) -> Path:
+        return self.root / "workers"
+
+    def status_path(self, worker: str) -> Path:
+        return self.workers_dir() / f"{worker}.json"
+
     def ensure_layout(self) -> None:
         for state in STATES:
             self.state_dir(state).mkdir(parents=True, exist_ok=True)
-        for sub in ("cancel", "events", "results"):
+        for sub in ("cancel", "events", "results", "spans", "workers"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -183,34 +200,76 @@ class JobQueue:
                                  separators=(",", ":")))
 
     def read_events(self, job_id: str) -> list[dict]:
+        """Parse the job's event stream, tolerating a torn final line.
+
+        A crash mid-append can leave the last line truncated — possibly
+        inside a multi-byte UTF-8 sequence — so each line is decoded and
+        parsed independently and bad lines are skipped, mirroring the run
+        ledger's tolerant parse.
+        """
         try:
-            lines = self.events_path(job_id).read_text().splitlines()
+            raw = self.events_path(job_id).read_bytes()
         except OSError:
             return []
         events = []
-        for line in lines:
+        for chunk in raw.splitlines():
             try:
-                event = json.loads(line)
-            except ValueError:
+                event = json.loads(chunk.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
                 continue
             if isinstance(event, dict):
                 events.append(event)
         return events
 
     # ------------------------------------------------------------------
+    # Worker spans (the job-trace stitcher's raw material).
+
+    def append_spans(self, job_id: str, records) -> int:
+        """Persist span records (``SpanRecord.as_dict`` dicts or objects)
+        for *job_id*; append-only JSONL, one span per line."""
+        count = 0
+        for record in records:
+            data = record if isinstance(record, dict) else record.as_dict()
+            locked_append(self.spans_path(job_id),
+                          json.dumps(data, sort_keys=True,
+                                     separators=(",", ":")))
+            count += 1
+        return count
+
+    def read_spans(self, job_id: str) -> list[dict]:
+        """All persisted span dicts for *job_id* (torn lines skipped)."""
+        try:
+            raw = self.spans_path(job_id).read_bytes()
+        except OSError:
+            return []
+        out = []
+        for chunk in raw.splitlines():
+            try:
+                data = json.loads(chunk.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                continue
+            if isinstance(data, dict) and "t0_ns" in data:
+                out.append(data)
+        return out
+
+    # ------------------------------------------------------------------
     # Submission (dedup + admission control).
 
-    def submit(self, spec: dict, config: MachineConfig | None = None
-               ) -> tuple[JobRecord, bool]:
+    def submit(self, spec: dict, config: MachineConfig | None = None,
+               trace: dict | None = None) -> tuple[JobRecord, bool]:
         """Admit one job; returns ``(record, created)``.
 
         ``created=False`` means an identical live job absorbed the
         submission (content-addressed dedup) — the caller polls the
         shared job.  Raises :class:`BackpressureError` past *max_depth*
-        and :class:`ConfigError` for malformed specs.
+        and :class:`ConfigError` for malformed specs.  *trace* is an
+        optional client trace context (see
+        :func:`repro.service.records.normalize_trace`); it is telemetry
+        only and never enters the dedup key.
         """
         config = config if config is not None else MachineConfig()
         spec = normalize_spec(spec)
+        trace = normalize_trace(trace)
         key = job_dedup_key(spec, config)
         self.ensure_layout()
         with self._lock():
@@ -221,15 +280,19 @@ class JobQueue:
                         self._publish(record, state)
                         self.append_event(record.job_id, "deduplicated",
                                           submitted=record.submitted)
+                        metrics.inc("jobs_deduplicated")
                         return record, False
             depth = len(self._paths_in("pending"))
             if depth >= self.max_depth:
+                metrics.inc("backpressure_rejections")
                 raise BackpressureError(depth, self.max_depth)
             record = JobRecord(job_id=new_job_id(), spec=spec,
                                dedup_key=key,
-                               max_attempts=self.max_attempts)
+                               max_attempts=self.max_attempts,
+                               trace=trace)
             self._publish(record, "pending")
         self.append_event(record.job_id, "submitted", spec=spec)
+        metrics.inc("jobs_submitted")
         return record, True
 
     # ------------------------------------------------------------------
@@ -260,12 +323,18 @@ class JobQueue:
             record.lease = {"worker": worker,
                             "pid": pid if pid is not None else os.getpid(),
                             "deadline": now + self.lease_ttl,
+                            "since": now,
                             "renewals": 0}
             self._publish(record, "leased")
             self.append_event(record.job_id, "leased", worker=worker,
                               pid=record.lease["pid"],
                               attempt=record.attempts + 1,
                               deadline=round(record.lease["deadline"], 3))
+            metrics.inc("jobs_claimed")
+            if record.attempts == 0:
+                # First execution: time spent waiting in pending/.
+                metrics.observe("job_queue_wait_seconds",
+                                max(now - record.created, 0.0))
             return record
         return None
 
@@ -285,6 +354,7 @@ class JobQueue:
         self.append_event(job_id, "heartbeat", worker=worker,
                           renewals=record.lease["renewals"],
                           deadline=round(record.lease["deadline"], 3))
+        metrics.inc("lease_renewals")
         return record
 
     def record_cell(self, job_id: str, worker: str) -> None:
@@ -331,6 +401,9 @@ class JobQueue:
             self._leave_leased(current, "done")
         self.append_event(record.job_id, "state", state="done",
                           outcome="completed")
+        metrics.inc("jobs_completed")
+        metrics.observe("job_latency_seconds",
+                        max(time.time() - current.created, 0.0))
         self._clear_cancel(record.job_id)
         return True
 
@@ -368,6 +441,13 @@ class JobQueue:
             record.attempts = current.attempts
         self.append_event(record.job_id, "failed", error=error,
                           attempt=current.attempts, landed=landed)
+        metrics.inc("jobs_failed")
+        if landed == "pending":
+            metrics.inc("jobs_retried")
+        elif landed == "quarantined":
+            metrics.inc("jobs_quarantined")
+        else:
+            metrics.inc("jobs_cancelled")
         if landed != "pending":
             self._clear_cancel(record.job_id)
         return landed
@@ -384,6 +464,7 @@ class JobQueue:
             self._leave_leased(current, "failed")
         self.append_event(record.job_id, "state", state="failed",
                           outcome="cancelled")
+        metrics.inc("jobs_cancelled")
         self._clear_cancel(record.job_id)
         return True
 
@@ -403,6 +484,7 @@ class JobQueue:
             self._leave_leased(current, "pending")
         self.append_event(record.job_id, "released",
                           cells_done=current.cells_done)
+        metrics.inc("jobs_released")
 
     # ------------------------------------------------------------------
     # Reaper: lease expiry + crash recovery.
@@ -446,6 +528,11 @@ class JobQueue:
                     landed = "pending"
             self.append_event(job_id, "lease_expired", worker=holder,
                               attempt=record.attempts, landed=landed)
+            metrics.inc("lease_expiries")
+            if landed == "quarantined":
+                metrics.inc("jobs_quarantined")
+            else:
+                metrics.inc("jobs_retried")
             acted.append(job_id)
         return acted
 
@@ -500,6 +587,7 @@ class JobQueue:
             pass
         self.append_event(record.job_id, "state", state="failed",
                           outcome="cancelled")
+        metrics.inc("jobs_cancelled")
         self._clear_cancel(record.job_id)
 
     def _clear_cancel(self, job_id: str) -> None:

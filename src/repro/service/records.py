@@ -127,6 +127,32 @@ def job_dedup_key(spec: dict, config: MachineConfig) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def normalize_trace(trace) -> dict | None:
+    """Sanitize a client-supplied trace context (never raises).
+
+    The context carries only what the job-trace stitcher needs to draw
+    the client's lane and link it as the root of the job's span tree:
+    the submitting pid, its submit-span id, and the wall-clock submit
+    stamp.  It is advisory telemetry, not part of the job's identity —
+    callers pop it off the request body *before* :func:`normalize_spec`,
+    so it can never perturb :func:`job_dedup_key`.  Malformed contexts
+    degrade to ``None`` (an untraced submit) rather than rejecting the
+    job.
+    """
+    if not isinstance(trace, dict):
+        return None
+    pid = trace.get("pid")
+    span = trace.get("span")
+    t_ns = trace.get("t_ns")
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid < 0:
+        return None
+    if not isinstance(span, str) or not span or len(span) > 64:
+        return None
+    if not isinstance(t_ns, int) or isinstance(t_ns, bool) or t_ns <= 0:
+        return None
+    return {"pid": pid, "span": span, "t_ns": t_ns}
+
+
 def known_benchmarks() -> list[str]:
     """Registered benchmark names (for client-side hints, not gating)."""
     return sorted(WORKLOADS_BY_NAME)
@@ -161,6 +187,9 @@ class JobRecord:
     result_path: str | None = None
     #: grid cells reported finished so far (events carry the detail).
     cells_done: int = 0
+    #: client trace context ({"pid", "span", "t_ns"}) linking the
+    #: submitter's span tree to the job's — see :func:`normalize_trace`.
+    trace: dict | None = None
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:

@@ -43,6 +43,9 @@ from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
 from ..errors import BackpressureError, ConfigError, ServiceError
+from ..telemetry import metrics
+from ..telemetry.metrics import render_prometheus
+from .observability import fleet_metrics, read_worker_statuses
 from .queue import JobQueue
 
 #: Default TCP port ("HI" = 0x4849 is taken; pick something memorable).
@@ -87,6 +90,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        metrics.inc("http_requests", method="POST")
         if urlparse(self.path).path != "/jobs":
             return self._error(404, f"no such endpoint: POST {self.path}")
         if self.service.draining:
@@ -94,7 +98,12 @@ class _Handler(BaseHTTPRequestHandler):
                                     "restart")
         try:
             spec = self._read_body()
-            record, created = self.service.queue.submit(spec)
+            # The optional trace context rides beside the spec in the
+            # same body; pop it before validation so it can never enter
+            # normalize_spec or the dedup key.
+            trace = spec.pop("trace", None) if isinstance(spec, dict) \
+                else None
+            record, created = self.service.queue.submit(spec, trace=trace)
         except BackpressureError as exc:
             return self._error(429, str(exc))
         except ConfigError as exc:
@@ -116,8 +125,29 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib name
         url = urlparse(self.path)
         parts = url.path.strip("/").split("/")
+        metrics.inc("http_requests", method="GET")
         if url.path == "/healthz":
+            # Liveness: always 200 while the process serves (probes and
+            # the client's health() rely on it never gating on workers).
             return self._send_json(200, self.service.health())
+        if url.path == "/health":
+            # Readiness: 503 until at least one worker is alive.
+            payload = self.service.health()
+            code = 200 if payload.get("workers_alive", 0) > 0 else 503
+            return self._send_json(code, payload)
+        if url.path == "/metrics":
+            payload = self.service.metrics_payload()
+            wants_json = parse_qs(url.query).get("format", [""])[0] == "json"
+            if wants_json:
+                return self._send_json(200, payload)
+            body = render_prometheus(payload["metrics"]).encode()
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return None
         if parts[0] != "jobs":
             return self._error(404, f"no such endpoint: GET {self.path}")
         if len(parts) == 1:
@@ -231,7 +261,11 @@ class ServiceServer:
                 "--lease-ttl", str(self.queue.lease_ttl),
                 "--max-attempts", str(self.queue.max_attempts),
                 "--retry-backoff", str(self.queue.retry_backoff),
-                "--poll-interval", str(self.poll_interval)]
+                "--poll-interval", str(self.poll_interval),
+                # The spool lives at <cache>/service, so the cache root
+                # is its parent — pinning it keeps worker results and
+                # ledger entries in the same store the server accounts.
+                "--cache-dir", str(self.queue.root.parent)]
         self._procs[name] = subprocess.Popen(argv)
         self.log(f"worker {name} up (pid {self._procs[name].pid})")
 
@@ -244,6 +278,7 @@ class ServiceServer:
             if code is None:
                 continue
             self.restarts += 1
+            metrics.inc("worker_restarts")
             self.log(f"worker {name} died (exit {code}); respawning — "
                      f"its lease will expire and the job will requeue")
             self._spawn_worker(name)
@@ -336,11 +371,43 @@ class ServiceServer:
         return 0
 
     def health(self) -> dict:
+        statuses = read_worker_statuses(self.queue)
+        supervised = self.worker_pids()
+        alive = sum(1 for pid in supervised.values() if pid is not None)
+        # Externally-started workers (tests, manual `python -m ...`)
+        # count through their published status files.
+        alive = max(alive,
+                    sum(1 for s in statuses if s.get("alive")))
         return {
             "version": __version__,
             "draining": self.draining,
             "counts": self.queue.counts(),
-            "workers": self.worker_pids(),
+            "workers": supervised,
+            "workers_alive": alive,
+            "fleet": [{k: s.get(k) for k in
+                       ("worker", "pid", "state", "job", "jobs_run",
+                        "age", "alive")}
+                      for s in statuses],
             "restarts": self.restarts,
             "spool": str(self.queue.root),
+        }
+
+    def metrics_payload(self) -> dict:
+        """The ``GET /metrics`` document: the fleet-merged snapshot plus
+        the context ``hidisc jobs top`` renders from (JSON format)."""
+        statuses = read_worker_statuses(self.queue)
+        snapshot = fleet_metrics(
+            self.queue, base_snapshot=metrics.combined_snapshot(),
+            statuses=statuses,
+            extra_gauges={"service_draining": 1.0 if self.draining
+                          else 0.0})
+        return {
+            "version": __version__,
+            "metrics": snapshot,
+            "counts": self.queue.counts(),
+            "draining": self.draining,
+            "workers": [{k: s.get(k) for k in
+                         ("worker", "pid", "state", "job", "jobs_run",
+                          "age", "alive")}
+                        for s in statuses],
         }

@@ -37,10 +37,15 @@ import threading
 import time
 import traceback
 
+from ..config import MachineConfig
 from ..errors import InterruptedRun, JobCancelled
 from ..experiments.cache import RunCache
 from ..experiments.interrupt import GracefulInterrupt
+from ..experiments.ledger import RunLedger, build_record, ledger_path
+from ..telemetry import metrics, spans
+from ..telemetry.spans import SpanTracer
 from .executor import LeaseLost, execute_job
+from .observability import publish_worker_status
 from .queue import JobQueue
 from .records import JobRecord
 
@@ -50,15 +55,19 @@ class LeaseKeeper(threading.Thread):
 
     Sets :attr:`lost` (and stops renewing) the moment a renewal fails —
     the executor's per-cell hook checks it and abandons the run.
+    *on_renew* (optional) fires after each successful renewal; the
+    worker uses it to republish its status file mid-job so liveness
+    holds through arbitrarily long cells.
     """
 
     def __init__(self, queue: JobQueue, job_id: str, worker: str,
-                 interval: float) -> None:
+                 interval: float, on_renew=None) -> None:
         super().__init__(name=f"lease-keeper-{job_id}", daemon=True)
         self.queue = queue
         self.job_id = job_id
         self.worker = worker
         self.interval = max(interval, 0.05)
+        self.on_renew = on_renew
         self.lost = threading.Event()
         self._done = threading.Event()
 
@@ -71,6 +80,11 @@ class LeaseKeeper(threading.Thread):
             if renewed is None:
                 self.lost.set()
                 return
+            if self.on_renew is not None:
+                try:
+                    self.on_renew()
+                except Exception:  # pragma: no cover - status is advisory
+                    pass
 
     def stop(self) -> None:
         self._done.set()
@@ -89,6 +103,7 @@ class Worker:
         self.cache = cache if cache is not None else RunCache()
         self.stream = stream if stream is not None else sys.stderr
         self.jobs_run = 0
+        self._status_at = 0.0
 
     def _log(self, message: str) -> None:
         try:
@@ -97,46 +112,130 @@ class Worker:
         except OSError:  # pragma: no cover - stream gone during teardown
             pass
 
+    def publish_status(self, state: str, job_id: str | None = None,
+                       min_interval: float = 0.0) -> None:
+        """Publish this worker's status file (see
+        :mod:`repro.service.observability`); *min_interval* rate-limits
+        the idle-loop republish."""
+        now = time.monotonic()
+        if min_interval and now - self._status_at < min_interval:
+            return
+        self._status_at = now
+        publish_worker_status(self.queue, self.worker_id, state,
+                              job_id=job_id, jobs_run=self.jobs_run)
+
     # ------------------------------------------------------------------
+    def _dispose(self, record: JobRecord, keeper: LeaseKeeper) -> str:
+        """The claim-to-transition core of :meth:`run_one` (exactly one
+        queue transition per exceptional path)."""
+        tracer = spans.current()
+        try:
+            result_path = execute_job(
+                self.queue, record, self.worker_id, cache=self.cache,
+                lease_lost=keeper.lost, tracer=tracer)
+        except JobCancelled:
+            self.queue.cancel_job(record, worker=self.worker_id)
+            self._log(f"job {record.job_id}: cancelled")
+            return "cancelled"
+        except InterruptedRun as exc:
+            self.queue.release(record, worker=self.worker_id)
+            self._log(f"job {record.job_id}: released on "
+                      f"{exc.signal_name} (drain)")
+            return "released"
+        except LeaseLost:
+            self._log(f"job {record.job_id}: lease lost, abandoning")
+            return "lost"
+        except Exception as exc:
+            landed = self.queue.fail(
+                record, f"{type(exc).__name__}: {exc}",
+                traceback_text=traceback.format_exc(),
+                worker=self.worker_id)
+            self._log(f"job {record.job_id}: failed "
+                      f"(attempt {record.attempts}) -> {landed}: {exc}")
+            return landed
+        if self.queue.complete(record, result_path,
+                               worker=self.worker_id):
+            self._log(f"job {record.job_id}: completed")
+            return "completed"
+        self._log(f"job {record.job_id}: completed but lease was "
+                  f"lost; result dropped")
+        return "lost"
+
     def run_one(self, record: JobRecord) -> str:
-        """Execute one claimed job; returns the disposition."""
-        keeper = LeaseKeeper(self.queue, record.job_id, self.worker_id,
-                             interval=self.queue.lease_ttl / 3.0)
+        """Execute one claimed job; returns the disposition.
+
+        Observability wrapper around :meth:`_dispose`: a metrics scope
+        isolates the job's counters (merged back afterwards, and shipped
+        both to the status file live and to the run ledger at the end),
+        and a per-job :class:`~repro.telemetry.spans.SpanTracer` records
+        the ``job``/``execute``/per-cell span tree, persisted to the
+        spool for ``hidisc jobs trace`` to stitch.
+        """
+        self.publish_status("running", record.job_id)
+        keeper = LeaseKeeper(
+            self.queue, record.job_id, self.worker_id,
+            interval=self.queue.lease_ttl / 3.0,
+            on_renew=lambda: self.publish_status("running", record.job_id))
+        scope = metrics.push_scope()
+        tracer = SpanTracer()
+        was_tracing = spans.current()
+        spans._TRACER = tracer
+        parent_span = (record.trace or {}).get("span")
+        started = time.time()
+        disposition = "failed"
         keeper.start()
         try:
-            try:
-                result_path = execute_job(
-                    self.queue, record, self.worker_id, cache=self.cache,
-                    lease_lost=keeper.lost)
-            except JobCancelled:
-                self.queue.cancel_job(record, worker=self.worker_id)
-                self._log(f"job {record.job_id}: cancelled")
-                return "cancelled"
-            except InterruptedRun as exc:
-                self.queue.release(record, worker=self.worker_id)
-                self._log(f"job {record.job_id}: released on "
-                          f"{exc.signal_name} (drain)")
-                return "released"
-            except LeaseLost:
-                self._log(f"job {record.job_id}: lease lost, abandoning")
-                return "lost"
-            except Exception as exc:
-                landed = self.queue.fail(
-                    record, f"{type(exc).__name__}: {exc}",
-                    traceback_text=traceback.format_exc(),
-                    worker=self.worker_id)
-                self._log(f"job {record.job_id}: failed "
-                          f"(attempt {record.attempts}) -> {landed}: {exc}")
-                return landed
-            if self.queue.complete(record, result_path,
-                                   worker=self.worker_id):
-                self._log(f"job {record.job_id}: completed")
-                return "completed"
-            self._log(f"job {record.job_id}: completed but lease was "
-                      f"lost; result dropped")
-            return "lost"
+            with tracer.span(f"job {record.job_id}", cat="job",
+                             worker=self.worker_id,
+                             attempt=record.attempts + 1,
+                             parent_span=parent_span):
+                with tracer.span("execute", cat="job") as execute_span:
+                    disposition = self._dispose(record, keeper)
+                    execute_span.set(disposition=disposition)
         finally:
             keeper.stop()
+            spans._TRACER = was_tracing
+            elapsed = time.time() - started
+            metrics.observe("job_execution_seconds", elapsed)
+            metrics.inc("jobs_executed", disposition=disposition)
+            snapshot = metrics.pop_scope(scope)
+            metrics.merge(snapshot)
+            try:
+                self.queue.append_spans(record.job_id, tracer.records)
+            except Exception:  # pragma: no cover - spans are advisory
+                pass
+            if disposition != "lost":
+                self._append_ledger(record, disposition, elapsed,
+                                    snapshot, tracer)
+            self.publish_status("idle")
+        return disposition
+
+    def _append_ledger(self, record: JobRecord, disposition: str,
+                       elapsed: float, snapshot: dict,
+                       tracer: SpanTracer) -> None:
+        """Best-effort run-ledger entry, so ``hidisc runs list`` /
+        ``runs report`` cover service-executed suites alongside CLI
+        runs.  ``lost`` dispositions are skipped — the job's new owner
+        writes the authoritative entry."""
+        try:
+            # The claimed record is stale by now (the executor updates
+            # the spool copy); report the final attempt/cell counts.
+            final = self.queue.get(record.job_id) or record
+            entry = build_record(
+                run_id=record.job_id, command="job",
+                argv=[f"--worker={self.worker_id}"],
+                outcome=disposition,
+                exit_code=0 if disposition == "completed" else 1,
+                elapsed_seconds=elapsed, config=MachineConfig(),
+                metrics_snapshot=snapshot,
+                spans_summary=spans.summarize(tracer.records),
+                extra={"job_id": record.job_id,
+                       "worker": self.worker_id,
+                       "attempts": max(final.attempts, record.attempts + 1),
+                       "cells_done": final.cells_done})
+            RunLedger(ledger_path(self.cache.root)).append(entry)
+        except Exception:  # pragma: no cover - the ledger is advisory
+            pass
 
     # ------------------------------------------------------------------
     def run_forever(self, *, max_jobs: int | None = None,
@@ -146,13 +245,16 @@ class Worker:
         """
         self._log(f"worker up (pid {os.getpid()}, "
                   f"lease_ttl {self.queue.lease_ttl}s)")
+        self.publish_status("idle")
         idle_since = time.monotonic()
         with GracefulInterrupt(stream=self.stream) as gi:
             while True:
                 if gi.triggered is not None:
                     self._log(f"drained on {gi.triggered}; exiting")
+                    self.publish_status("stopped")
                     return 0
                 if max_jobs is not None and self.jobs_run >= max_jobs:
+                    self.publish_status("stopped")
                     return 0
                 try:
                     record = self.queue.claim(self.worker_id)
@@ -163,7 +265,9 @@ class Worker:
                     if idle_exit is not None and \
                             time.monotonic() - idle_since > idle_exit:
                         self._log("idle timeout; exiting")
+                        self.publish_status("stopped")
                         return 0
+                    self.publish_status("idle", min_interval=1.0)
                     time.sleep(self.poll_interval)
                     continue
                 idle_since = time.monotonic()
@@ -189,13 +293,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--poll-interval", type=float, default=0.2)
     parser.add_argument("--max-jobs", type=int, default=None)
     parser.add_argument("--idle-exit", type=float, default=None)
+    parser.add_argument("--cache-dir", default=None,
+                        help="run-cache root (defaults to the env-derived "
+                             "cache; the supervisor passes its own so "
+                             "worker and server always share one store)")
     args = parser.parse_args(argv)
 
     queue = JobQueue(args.root, lease_ttl=args.lease_ttl,
                      max_attempts=args.max_attempts,
                      retry_backoff=args.retry_backoff)
     queue.ensure_layout()
-    worker = Worker(queue, args.worker_id, poll_interval=args.poll_interval)
+    cache = RunCache(args.cache_dir) if args.cache_dir else RunCache()
+    worker = Worker(queue, args.worker_id, poll_interval=args.poll_interval,
+                    cache=cache)
     return worker.run_forever(max_jobs=args.max_jobs,
                               idle_exit=args.idle_exit)
 

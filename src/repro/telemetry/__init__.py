@@ -36,7 +36,7 @@ from .cpi import (
 )
 from .diff import diff_payloads, first_divergent_commit, load_payload, render_diff
 from .events import Telemetry
-from .heartbeat import Heartbeat
+from .heartbeat import Heartbeat, StatusLine
 from .konata import konata_lines, write_konata
 from .lifecycle import (
     LIFECYCLE_COMPONENTS,
@@ -74,6 +74,7 @@ __all__ = [
     "Sample",
     "Sampler",
     "Sink",
+    "StatusLine",
     "TeeSink",
     "Telemetry",
     "breakdown_row",

@@ -19,6 +19,46 @@ import sys
 import time
 
 
+class StatusLine:
+    """A single refreshing status line with the heartbeat's TTY contract.
+
+    On a TTY (``live=True``) each :meth:`update` rewrites the line in
+    place with ``\\r``, padding over any longer previous rendering; on
+    anything else each update is one plain newline-terminated line, so
+    control sequences never reach a log file or pipe.  :meth:`finish`
+    clears an in-progress line (idempotent), leaving the cursor at
+    column 0 so subsequent output never splices into stale status text.
+
+    Extracted from :class:`Heartbeat` so other refreshers (``hidisc jobs
+    top``) share the exact same rendering contract.
+    """
+
+    def __init__(self, stream=None, live: bool | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            isatty = getattr(self.stream, "isatty", None)
+            live = bool(isatty and isatty())
+        self.live = live
+        #: width of the currently-open ``\r`` status line (0 = none open).
+        self._open_width = 0
+
+    def update(self, text: str) -> None:
+        if self.live:
+            pad = max(self._open_width - len(text), 0)
+            self.stream.write("\r" + text + " " * pad)
+            self._open_width = len(text)
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        if not self._open_width:
+            return
+        self.stream.write("\r" + " " * self._open_width + "\r")
+        self.stream.flush()
+        self._open_width = 0
+
+
 class Heartbeat:
     """Emits a status line every *interval* simulated cycles.
 
@@ -36,17 +76,27 @@ class Heartbeat:
         if interval < 1:
             raise ValueError("heartbeat interval must be >= 1 cycle")
         self.interval = interval
-        self.stream = stream if stream is not None else sys.stderr
-        if live is None:
-            isatty = getattr(self.stream, "isatty", None)
-            live = bool(isatty and isatty())
-        self.live = live
+        self._line = StatusLine(stream, live)
         self.next_at = interval
         self.emitted = 0
-        #: width of the currently-open ``\r`` status line (0 = none open).
-        self._open_width = 0
         self._last_cycle = 0
         self._last_time = time.perf_counter()
+
+    @property
+    def stream(self):
+        return self._line.stream
+
+    @property
+    def live(self) -> bool:
+        return self._line.live
+
+    @property
+    def _open_width(self) -> int:
+        return self._line._open_width
+
+    @_open_width.setter
+    def _open_width(self, value: int) -> None:
+        self._line._open_width = value
 
     def snapshot(self, machine, now: int) -> dict:
         """Measure *machine* at cycle *now* as a JSON-ready dict.
@@ -85,15 +135,7 @@ class Heartbeat:
             f"ldq={snap['ldq']} sdq={snap['sdq']} saq={snap['saq']} "
             f"host_cps={snap['host_cps']:,.0f}"
         )
-        if self.live:
-            # Rewrite the single status line in place, padding over any
-            # longer previous rendering.
-            pad = max(self._open_width - len(text), 0)
-            self.stream.write("\r" + text + " " * pad)
-            self._open_width = len(text)
-        else:
-            self.stream.write(text + "\n")
-        self.stream.flush()
+        self._line.update(text)
         self.emitted += 1
         self._last_cycle = now
         self._last_time = host_now
@@ -107,8 +149,4 @@ class Heartbeat:
         blank line, so whatever prints next cannot splice into a stale
         heartbeat.
         """
-        if not self._open_width:
-            return
-        self.stream.write("\r" + " " * self._open_width + "\r")
-        self.stream.flush()
-        self._open_width = 0
+        self._line.finish()

@@ -42,6 +42,24 @@ def render_key(name: str, labels: dict | None = None) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_key(key: str) -> tuple[str, dict]:
+    """Inverse of :func:`render_key`: ``name{k=v,...}`` -> (name, labels).
+
+    Label values in this registry are simple identifiers (state names,
+    benchmark names, worker ids) — they never contain ``,`` or ``=``, so
+    a plain split round-trips exactly.
+    """
+    if "{" not in key or not key.endswith("}"):
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 def _bucket(value: float) -> str:
     """Decade bucket label for a histogram observation."""
     if value <= 0:
@@ -199,6 +217,22 @@ def reset() -> None:
     _STACK[:] = [MetricsRegistry()]
 
 
+def combined_snapshot() -> dict:
+    """Snapshot of the whole scope stack merged (base + open scopes).
+
+    The base registry holds everything already absorbed; an open scope
+    holds the in-flight deltas of the current task.  Merging both gives
+    the process's true running totals — what a live scrape (the service
+    worker's status file) should publish mid-job.
+    """
+    if len(_STACK) == 1:
+        return _STACK[0].snapshot()
+    merged = MetricsRegistry()
+    for scope in list(_STACK):
+        merged.merge(scope.snapshot())
+    return merged.snapshot()
+
+
 # ----------------------------------------------------------------------
 
 def record_peak_rss() -> float | None:
@@ -216,3 +250,96 @@ def record_peak_rss() -> float | None:
     peak_bytes = float(peak if sys.platform == "darwin" else peak * 1024)
     gauge_max("peak_rss_bytes", peak_bytes)
     return peak_bytes
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (the service's GET /metrics).
+
+def _prom_labels(labels: dict) -> str:
+    """Prometheus label block ``{k="v",...}`` with value escaping."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        value = value.replace("\\", "\\\\").replace('"', '\\"') \
+                     .replace("\n", "\\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _bucket_bound(bucket: str) -> float:
+    """Upper bound of a decade bucket label (``"<=0"`` or ``"1eA..1eB"``)."""
+    if bucket == "<=0":
+        return 0.0
+    return float(bucket.split("..", 1)[1])
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    format (exposition format version 0.0.4).
+
+    * counters and gauges become one sample per labelled series;
+    * histograms expose the standard ``_bucket{le=...}`` (cumulative,
+      derived from the registry's decade buckets), ``_sum`` and
+      ``_count`` series, plus ``_min``/``_max`` gauges (this registry
+      tracks them; Prometheus histograms do not);
+    * output is deterministically ordered (sorted series, one ``# TYPE``
+      header per metric family), so two scrapes of identical registries
+      are byte-identical.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        name, labels = parse_key(key)
+        emit_type(name, "counter")
+        value = snapshot["counters"][key]
+        lines.append(f"{name}{_prom_labels(labels)} {_format_value(value)}")
+    for key in sorted(snapshot.get("gauges", {})):
+        name, labels = parse_key(key)
+        emit_type(name, "gauge")
+        value = snapshot["gauges"][key]
+        lines.append(f"{name}{_prom_labels(labels)} {_format_value(value)}")
+    for key in sorted(snapshot.get("histograms", {})):
+        name, labels = parse_key(key)
+        hist = snapshot["histograms"][key]
+        emit_type(name, "histogram")
+        cumulative = 0
+        buckets = sorted(hist.get("buckets", {}).items(),
+                         key=lambda item: _bucket_bound(item[0]))
+        for bucket, count in buckets:
+            cumulative += count
+            bound = _format_value(_bucket_bound(bucket))
+            lines.append(f"{name}_bucket"
+                         f"{_prom_labels(dict(labels, le=bound))} "
+                         f"{cumulative}")
+        lines.append(f"{name}_bucket{_prom_labels(dict(labels, le='+Inf'))} "
+                     f"{hist['count']}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} "
+                     f"{_format_value(hist['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {hist['count']}")
+        if hist["count"]:
+            emit_type(f"{name}_min", "gauge")
+            lines.append(f"{name}_min{_prom_labels(labels)} "
+                         f"{_format_value(hist['min'])}")
+            emit_type(f"{name}_max", "gauge")
+            lines.append(f"{name}_max{_prom_labels(labels)} "
+                         f"{_format_value(hist['max'])}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -146,6 +146,27 @@ class SpanTracer:
             t0_ns=time.time_ns(), dur_ns=None, args=args,
         ))
 
+    def record_span(self, name: str, t0_ns: int, dur_ns: int,
+                    cat: str = "orch", parent: str | None = None,
+                    **args) -> SpanRecord:
+        """Retro-record a span that already happened.
+
+        For callers that learn a span's bounds after the fact (the service
+        executor timing a grid cell inside a callback, the trace stitcher
+        reconstructing queue-state residency from persisted events) —
+        *t0_ns* is a ``time.time_ns`` stamp and *dur_ns* a plain
+        difference of such stamps.  The span nests under the currently
+        open span unless *parent* is given explicitly.
+        """
+        record = SpanRecord(
+            name=name, cat=cat, pid=self.pid, sid=self._new_id(),
+            parent=parent if parent is not None
+            else (self._stack[-1] if self._stack else None),
+            t0_ns=t0_ns, dur_ns=dur_ns, args=args,
+        )
+        self.records.append(record)
+        return record
+
     def adopt(self, records) -> None:
         """Merge spans shipped back from a worker process.
 
@@ -236,12 +257,16 @@ def end_worker_task(tracer: SpanTracer | None):
 # ----------------------------------------------------------------------
 # Export & summary.
 
-def to_trace_events(records, main_pid: int | None = None) -> list[dict]:
+def to_trace_events(records, main_pid: int | None = None,
+                    lane_names: dict | None = None) -> list[dict]:
     """Chrome/Perfetto ``trace_event`` dicts for *records*.
 
     Each pid becomes its own process lane (the orchestrator plus one lane
     per worker); timestamps are microseconds since the earliest span in
-    the set, so the whole run starts at t=0.
+    the set, so the whole run starts at t=0.  *lane_names* overrides the
+    default lane title for specific pids (``{pid: "label"}``) — the
+    service's job-trace stitcher uses it to label the client, queue and
+    worker lanes.
     """
     records = list(records)
     if not records:
@@ -266,25 +291,31 @@ def to_trace_events(records, main_pid: int | None = None) -> list[dict]:
             })
     meta: list[dict] = []
     for index, pid in enumerate(sorted(pids)):
-        name = ("hidisc orchestrator" if main_pid is not None
-                and pid == main_pid else f"hidisc worker {pid}")
+        if lane_names and pid in lane_names:
+            name = lane_names[pid]
+            sort_index = list(lane_names).index(pid)
+        else:
+            name = ("hidisc orchestrator" if main_pid is not None
+                    and pid == main_pid else f"hidisc worker {pid}")
+            sort_index = 0 if name.endswith("orchestrator") else index + 1
         meta.append({"ph": "M", "pid": pid, "name": "process_name",
                      "args": {"name": name}})
         meta.append({"ph": "M", "pid": pid, "name": "process_sort_index",
-                     "args": {"sort_index": 0 if name.endswith("orchestrator")
-                              else index + 1}})
+                     "args": {"sort_index": sort_index}})
     return meta + events
 
 
 def write_orchestration_trace(records, path: str | Path,
-                              main_pid: int | None = None) -> int:
+                              main_pid: int | None = None,
+                              lane_names: dict | None = None) -> int:
     """Write *records* as a Perfetto-loadable trace at *path*.
 
     One event per line inside the ``traceEvents`` array, so the file is
     both a single valid JSON document and consumable line by line by
     streaming tools.  Returns the number of events written.
     """
-    events = to_trace_events(records, main_pid=main_pid)
+    events = to_trace_events(records, main_pid=main_pid,
+                             lane_names=lane_names)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as fh:
